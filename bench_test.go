@@ -1,0 +1,344 @@
+// Benchmark harness: one benchmark per table and figure of the reproduced
+// evaluation (see DESIGN.md for the experiment index). The benchmarks
+// measure the wall-clock cost of regenerating each result and report the
+// headline accuracy numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. Full formatted tables come from
+// `go run ./cmd/eval`.
+package probedis
+
+import (
+	"sync"
+	"testing"
+
+	"probedis/internal/analysis"
+	"probedis/internal/baseline"
+	"probedis/internal/core"
+	"probedis/internal/correct"
+	"probedis/internal/dis"
+	"probedis/internal/emu"
+	"probedis/internal/eval"
+	"probedis/internal/rewrite"
+	"probedis/internal/stats"
+	"probedis/internal/superset"
+	"probedis/internal/synth"
+)
+
+// benchEnv is the shared, lazily-built benchmark environment (model and
+// corpus construction are setup cost, not the measured quantity).
+type benchEnv struct {
+	model  *stats.Model
+	corpus []*synth.Binary
+	big    *synth.Binary
+}
+
+var (
+	envOnce sync.Once
+	env     benchEnv
+)
+
+func benchSetup(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		env.model = core.DefaultModel()
+		spec := eval.DefaultCorpus()
+		spec.PerProfile = 2
+		spec.Funcs = 40
+		corpus, err := spec.Build()
+		if err != nil {
+			panic(err)
+		}
+		env.corpus = corpus
+		big, err := synth.Generate(synth.Config{
+			Seed: 555, Profile: synth.ProfileComplex, NumFuncs: 200,
+		})
+		if err != nil {
+			panic(err)
+		}
+		env.big = big
+	})
+	return &env
+}
+
+func corpusBytes(c []*synth.Binary) int64 {
+	var n int64
+	for _, b := range c {
+		n += int64(len(b.Code))
+	}
+	return n
+}
+
+// errFactor runs one engine over a corpus and returns err/1k-inst.
+func errFactor(e dis.Engine, corpus []*synth.Binary) float64 {
+	var m eval.Metrics
+	for _, b := range corpus {
+		m.Add(eval.Score(b, e.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))))
+	}
+	return m.ErrorFactor()
+}
+
+// BenchmarkT1CorpusGeneration measures ground-truthed corpus generation
+// (Table 1: corpus summary).
+func BenchmarkT1CorpusGeneration(b *testing.B) {
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		for p, prof := range synth.DefaultProfiles {
+			bin, err := synth.Generate(synth.Config{
+				Seed: int64(i*10 + p), Profile: prof, NumFuncs: 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes += int64(len(bin.Code))
+		}
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkT2AccuracyComparison regenerates the headline accuracy table:
+// the core engine and every baseline over the corpus. Error factors are
+// reported as custom metrics.
+func BenchmarkT2AccuracyComparison(b *testing.B) {
+	e := benchSetup(b)
+	engines := append([]dis.Engine{core.New(e.model)}, baseline.Engines(e.model)...)
+	b.ResetTimer()
+	var last map[string]float64
+	for i := 0; i < b.N; i++ {
+		last = map[string]float64{}
+		for _, eng := range engines {
+			last[eng.Name()] = errFactor(eng, e.corpus)
+		}
+	}
+	for name, f := range map[string]string{"probedis": "core", "stat-only": "statonly"} {
+		b.ReportMetric(last[name], "err/1k-"+f)
+	}
+}
+
+// BenchmarkT3DataCategories regenerates the per-category detection table.
+func BenchmarkT3DataCategories(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	b.ResetTimer()
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		var m eval.Metrics
+		for _, bin := range e.corpus {
+			m.Add(eval.Score(bin, d.Disassemble(bin.Code, bin.Base, int(bin.Entry-bin.Base))))
+		}
+		recall = m.DataRecall(synth.ClassJumpTable)
+	}
+	b.ReportMetric(recall*100, "jumptable-recall-%")
+}
+
+// BenchmarkT4Ablation regenerates the ablation table (each configuration
+// over the corpus).
+func BenchmarkT4Ablation(b *testing.B) {
+	e := benchSetup(b)
+	configs := map[string][]core.Option{
+		"full":    nil,
+		"nostats": {core.WithoutStats()},
+		"nobehav": {core.WithoutBehavior()},
+		"nojt":    {core.WithoutJumpTables()},
+		"noprio":  {core.WithoutPrioritization()},
+	}
+	b.ResetTimer()
+	var full, nojt float64
+	for i := 0; i < b.N; i++ {
+		for name, opts := range configs {
+			f := errFactor(core.New(e.model, opts...), e.corpus)
+			switch name {
+			case "full":
+				full = f
+			case "nojt":
+				nojt = f
+			}
+		}
+	}
+	b.ReportMetric(full, "err/1k-full")
+	b.ReportMetric(nojt, "err/1k-nojt")
+}
+
+// BenchmarkT5Throughput measures end-to-end core throughput (bytes/sec as
+// B/s via SetBytes).
+func BenchmarkT5Throughput(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	b.SetBytes(corpusBytes(e.corpus))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bin := range e.corpus {
+			d.Disassemble(bin.Code, bin.Base, int(bin.Entry-bin.Base))
+		}
+	}
+}
+
+// BenchmarkT5ThroughputBaselines times the fastest baseline for contrast.
+func BenchmarkT5ThroughputBaselines(b *testing.B) {
+	e := benchSetup(b)
+	b.SetBytes(corpusBytes(e.corpus))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bin := range e.corpus {
+			baseline.LinearSweep{}.Disassemble(bin.Code, bin.Base, int(bin.Entry-bin.Base))
+		}
+	}
+}
+
+// BenchmarkT6FunctionStarts regenerates the function-identification table.
+func BenchmarkT6FunctionStarts(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		var m eval.Metrics
+		for _, bin := range e.corpus {
+			m.Add(eval.Score(bin, d.Disassemble(bin.Code, bin.Base, int(bin.Entry-bin.Base))))
+		}
+		f1 = m.FuncF1()
+	}
+	b.ReportMetric(f1, "func-F1")
+}
+
+// BenchmarkF1DensitySweep regenerates the density figure: accuracy at the
+// extremes of the embedded-data density sweep.
+func BenchmarkF1DensitySweep(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	build := func(density float64) []*synth.Binary {
+		spec := eval.DefaultCorpus()
+		spec.PerProfile = 1
+		spec.Funcs = 40
+		spec.DataDensity = density
+		c, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	lo, hi := build(0.25), build(4)
+	b.ResetTimer()
+	var fLo, fHi float64
+	for i := 0; i < b.N; i++ {
+		fLo = errFactor(d, lo)
+		fHi = errFactor(d, hi)
+	}
+	b.ReportMetric(fLo, "err/1k-lowdensity")
+	b.ReportMetric(fHi, "err/1k-highdensity")
+}
+
+// BenchmarkF2SizeScaling measures core runtime scaling on a large binary.
+func BenchmarkF2SizeScaling(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	b.SetBytes(int64(len(e.big.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Disassemble(e.big.Code, e.big.Base, int(e.big.Entry-e.big.Base))
+	}
+}
+
+// BenchmarkF3Convergence measures one full prioritized-correction run with
+// precollected hints (the figure replays it at growing budgets).
+func BenchmarkF3Convergence(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	g := superset.Build(e.big.Code, e.big.Base)
+	viable := analysis.Viability(g)
+	scores := e.model.ScoreAll(g, 8)
+	hints, _ := d.CollectHints(g, viable, int(e.big.Entry-e.big.Base), scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correct.Run(g, viable, hints, correct.Options{Scores: scores})
+	}
+	b.ReportMetric(float64(len(hints)), "hints")
+}
+
+// BenchmarkF4ThresholdSweep measures the pipeline across the statistical
+// threshold sweep.
+func BenchmarkF4ThresholdSweep(b *testing.B) {
+	e := benchSetup(b)
+	thetas := []float64{-2, 0, 2}
+	b.ResetTimer()
+	var mid float64
+	for i := 0; i < b.N; i++ {
+		for _, th := range thetas {
+			f := errFactor(core.New(e.model, core.WithThreshold(th)), e.corpus[:2])
+			if th == 0 {
+				mid = f
+			}
+		}
+	}
+	b.ReportMetric(mid, "err/1k-theta0")
+}
+
+// BenchmarkSupersetBuild isolates the superset-decoding substrate.
+func BenchmarkSupersetBuild(b *testing.B) {
+	e := benchSetup(b)
+	b.SetBytes(int64(len(e.big.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		superset.Build(e.big.Code, e.big.Base)
+	}
+}
+
+// BenchmarkViability isolates the invalid-chain poisoning analysis.
+func BenchmarkViability(b *testing.B) {
+	e := benchSetup(b)
+	g := superset.Build(e.big.Code, e.big.Base)
+	b.SetBytes(int64(len(e.big.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Viability(g)
+	}
+}
+
+// BenchmarkE1Adversarial regenerates the anti-disassembly extension
+// experiment: the core engine over junk-laced binaries.
+func BenchmarkE1Adversarial(b *testing.B) {
+	e := benchSetup(b)
+	bin, err := synth.Generate(synth.Config{
+		Seed: 21, Profile: synth.ProfileAdversarial, NumFuncs: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.New(e.model)
+	b.SetBytes(int64(len(bin.Code)))
+	b.ResetTimer()
+	var f float64
+	for i := 0; i < b.N; i++ {
+		f = errFactor(d, []*synth.Binary{bin})
+	}
+	b.ReportMetric(f, "err/1k-inst")
+}
+
+// BenchmarkE2RewritePipeline regenerates the instrumentation experiment's
+// core path: disassemble, rewrite with probes, execute both images.
+func BenchmarkE2RewritePipeline(b *testing.B) {
+	e := benchSetup(b)
+	bin, err := synth.Generate(synth.Config{
+		Seed: 3, Profile: synth.ProfileComplex, NumFuncs: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.New(e.model)
+	b.SetBytes(int64(len(bin.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := d.DisassembleDetail(bin.Code, bin.Base, int(bin.Entry-bin.Base))
+		out, err := rewrite.Rewrite(det, rewrite.Options{
+			NewBase: 0x600000, Probe: true, Entry: bin.Entry,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		counters := make([]byte, out.CounterLen)
+		m := emu.New(out.Code, out.Base)
+		m.Map(emu.Region{Base: out.CounterBase, Data: counters})
+		m.Run(out.Entry, 200000)
+	}
+}

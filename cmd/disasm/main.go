@@ -1,0 +1,94 @@
+// Command disasm disassembles a stripped ELF64 x86-64 binary without using
+// any compiler metadata, printing a byte-precise code/data classification
+// and an annotated listing.
+//
+// Usage:
+//
+//	disasm [-listing] [-bytes] [-summary] file.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probedis/internal/core"
+	"probedis/internal/listing"
+	"probedis/internal/stats"
+)
+
+func main() {
+	showListing := flag.Bool("listing", true, "print the annotated listing")
+	showBytes := flag.Bool("bytes", false, "include raw instruction bytes in the listing")
+	summaryOnly := flag.Bool("summary", false, "print only the per-section summary")
+	showRegions := flag.Bool("regions", false, "print data regions with the analysis that proved each")
+	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: disasm [-listing] [-bytes] [-summary] [-model m.pdmd] file.elf")
+		os.Exit(2)
+	}
+
+	img, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var model *stats.Model
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = stats.ReadModel(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		model = core.DefaultModel()
+	}
+	d := core.New(model)
+	secs, err := d.DisassembleELFDetail(img)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range secs {
+		det := s.Detail
+		res := det.Result
+		fmt.Printf("section %s: %#x..%#x (%d bytes)\n",
+			s.Name, s.Addr, s.Addr+uint64(len(s.Data)), len(s.Data))
+		fmt.Printf("  code bytes:    %d (%.1f%%)\n", res.CodeBytes(),
+			100*float64(res.CodeBytes())/float64(res.Len()))
+		fmt.Printf("  data bytes:    %d\n", res.Len()-res.CodeBytes())
+		fmt.Printf("  instructions:  %d\n", res.NumInsts())
+		fmt.Printf("  functions:     %d\n", len(res.FuncStarts))
+		fmt.Printf("  basic blocks:  %d\n", det.CFG.NumBlocks())
+		fmt.Printf("  jump tables:   %d\n", len(det.Tables))
+		fmt.Printf("  hints: %d (committed %d, rejected %d, retracted %d)\n",
+			det.Hints, det.Outcome.Committed, det.Outcome.Rejected, det.Outcome.Retracted)
+		if *showRegions {
+			fmt.Println("  data regions (attribution = analysis that claimed the first byte):")
+			for _, reg := range res.Regions() {
+				if reg.Code {
+					continue
+				}
+				fmt.Printf("    %#x..%#x (%4d bytes)  %s\n",
+					s.Addr+uint64(reg.From), s.Addr+uint64(reg.To),
+					reg.Len(), det.Outcome.SrcName(reg.From))
+			}
+		}
+		if *summaryOnly || !*showListing {
+			continue
+		}
+		fmt.Println()
+		if err := listing.Write(os.Stdout, s.Data, res,
+			listing.Options{ShowBytes: *showBytes}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command synthgen generates a synthetic ground-truthed ELF64 benchmark
+// binary, writing the executable and (optionally) its ground truth.
+//
+// Usage:
+//
+//	synthgen -o bin.elf [-profile complex] [-seed 1] [-funcs 60] [-truth truth.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"probedis/internal/synth"
+)
+
+func main() {
+	out := flag.String("o", "synth.elf", "output ELF path")
+	profile := flag.String("profile", "complex", "profile: gcc-O0, clang-O2, icc-vec, complex")
+	seed := flag.Int64("seed", 1, "generation seed")
+	funcs := flag.Int("funcs", 60, "number of functions")
+	truthPath := flag.String("truth", "", "also write ground truth (one line per byte class run)")
+	flag.Parse()
+
+	var prof *synth.Profile
+	for i := range synth.DefaultProfiles {
+		if synth.DefaultProfiles[i].Name == *profile {
+			prof = &synth.DefaultProfiles[i]
+		}
+	}
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "synthgen: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	b, err := synth.Generate(synth.Config{Seed: *seed, Profile: *prof, NumFuncs: *funcs})
+	if err != nil {
+		fatal(err)
+	}
+	img, err := b.ELF()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, img, 0o755); err != nil {
+		fatal(err)
+	}
+	counts := b.Truth.Counts()
+	fmt.Printf("%s: %d bytes text (%d code, %d data: %d jumptable, %d string, %d const, %d padding), %d funcs, %d insts\n",
+		*out, len(b.Code), counts[synth.ClassCode],
+		b.Truth.DataBytes(), counts[synth.ClassJumpTable], counts[synth.ClassString],
+		counts[synth.ClassConst], counts[synth.ClassPadding],
+		len(b.Truth.FuncStarts), b.Truth.NumInsts())
+
+	if *truthPath == "" {
+		return
+	}
+	f, err := os.Create(*truthPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	// Runs of identical classes: "<start-addr> <len> <class>".
+	for i := 0; i < len(b.Code); {
+		j := i
+		for j < len(b.Code) && b.Truth.Classes[j] == b.Truth.Classes[i] {
+			j++
+		}
+		fmt.Fprintf(w, "%#x %d %s\n", b.Base+uint64(i), j-i, b.Truth.Classes[i])
+		i = j
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synthgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Compare: run every disassembly engine on the same stripped binary and
+// diff their accuracy against ground truth — a miniature of the paper's
+// headline table.
+//
+// Run with: go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"probedis/internal/baseline"
+	"probedis/internal/core"
+	"probedis/internal/dis"
+	"probedis/internal/eval"
+	"probedis/internal/synth"
+)
+
+func main() {
+	bin, err := synth.Generate(synth.Config{
+		Seed:     11,
+		Profile:  synth.ProfileComplex,
+		NumFuncs: 80,
+	})
+	if err != nil {
+		panic(err)
+	}
+	counts := bin.Truth.Counts()
+	fmt.Printf("binary: %d bytes (%d code, %d jumptable, %d string, %d const, %d padding)\n\n",
+		len(bin.Code), counts[synth.ClassCode], counts[synth.ClassJumpTable],
+		counts[synth.ClassString], counts[synth.ClassConst], counts[synth.ClassPadding])
+
+	model := core.DefaultModel()
+	engines := append([]dis.Engine{core.New(model)}, baseline.Engines(model)...)
+
+	tab := eval.Table{
+		ID:      "compare",
+		Title:   "one-binary engine comparison",
+		Columns: []string{"engine", "byte-err", "inst-F1", "err/1k-inst", "funcs-found"},
+	}
+	entry := int(bin.Entry - bin.Base)
+	for _, e := range engines {
+		res := e.Disassemble(bin.Code, bin.Base, entry)
+		m := eval.Score(bin, res)
+		tab.AddRow(e.Name(),
+			fmt.Sprintf("%.3f%%", 100*m.ByteErrRate()),
+			fmt.Sprintf("%.4f", m.InstF1()),
+			fmt.Sprintf("%.2f", m.ErrorFactor()),
+			fmt.Sprintf("%d/%d", m.FuncTP, m.TrueFuncs))
+	}
+	tab.Render(os.Stdout)
+}

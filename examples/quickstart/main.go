@@ -1,0 +1,54 @@
+// Quickstart: disassemble a stripped binary image with the metadata-free
+// pipeline and inspect the classification.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"probedis/internal/core"
+	"probedis/internal/listing"
+	"probedis/internal/synth"
+)
+
+func main() {
+	// A stand-in for "a stripped binary you loaded": generate one with
+	// embedded jump tables, strings and constants. In real use you would
+	// read an ELF file and take its .text bytes (see cmd/disasm).
+	bin, err := synth.Generate(synth.Config{
+		Seed:     1,
+		Profile:  synth.ProfileComplex,
+		NumFuncs: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// One line to get a configured disassembler. DefaultModel() trains the
+	// statistical code/data models on a built-in corpus (cached globally).
+	d := core.New(core.DefaultModel())
+
+	// Classify every byte and recover instructions + functions.
+	entry := int(bin.Entry - bin.Base)
+	res := d.Disassemble(bin.Code, bin.Base, entry)
+
+	fmt.Printf("text: %d bytes at %#x\n", len(bin.Code), bin.Base)
+	fmt.Printf("classified: %d code bytes, %d data bytes\n",
+		res.CodeBytes(), res.Len()-res.CodeBytes())
+	fmt.Printf("recovered: %d instructions, %d functions\n\n",
+		res.NumInsts(), len(res.FuncStarts))
+
+	// Print the first function as an annotated listing.
+	end := res.Len()
+	if len(res.FuncStarts) > 1 {
+		end = res.FuncStarts[1]
+	}
+	sub := *res
+	sub.IsCode = res.IsCode[:end]
+	sub.InstStart = res.InstStart[:end]
+	if err := listing.Write(os.Stdout, bin.Code[:end], &sub, listing.Options{}); err != nil {
+		panic(err)
+	}
+}

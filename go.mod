@@ -1,0 +1,3 @@
+module probedis
+
+go 1.22

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"probedis/internal/superset"
+	"probedis/internal/x86"
+)
+
+// BehaviorPenalty scores how implausible the decode chain starting at off
+// is as real code, using behavioural properties the paper exploits:
+//
+//   - rare/privileged opcodes (in/out, hlt, far control transfers, BCD...)
+//     essentially never occur in application code;
+//   - the stack pointer must stay disciplined: a window whose cumulative
+//     RSP delta goes far positive (popping a stack it never pushed) or
+//     implausibly negative is data decoding as code;
+//   - segment-prefixed and LOCK-prefixed nonsense forms.
+//
+// Returns a non-negative penalty (0 = clean chain).
+func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
+	var penalty float64
+	var stack int64
+	for n := 0; n < window && off < g.Len() && g.Valid[off]; n++ {
+		inst := &g.Insts[off]
+		if inst.Rare {
+			penalty += 3
+		}
+		if inst.Prefix&x86.PrefixSeg != 0 {
+			penalty += 1.5 // segment overrides are rare in 64-bit code
+		}
+		stack += int64(inst.StackDelta)
+		if inst.Op == x86.LEAVE || inst.Op == x86.ENTER {
+			stack = 0 // frame reset; delta no longer tracked
+		}
+		switch {
+		case stack > 64:
+			penalty += 2 // popped far more than pushed in one window
+		case stack < -65536:
+			penalty += 2 // absurd frame allocation
+		}
+		if !inst.Flow.HasFallthrough() {
+			break
+		}
+		off += inst.Len
+	}
+	return penalty
+}
+
+// StatHints produces the statistical classification hints: for each viable
+// offset, the model's normalized log-odds (adjusted by the behavioural
+// penalty) yields a code hint (positive) or data hint (negative). scores
+// must come from Model.ScoreAll on the same graph.
+//
+// Data hints from the statistical layer are per-offset (Len 1): a single
+// offset scoring data-like does not say where the data region ends — the
+// corrector accumulates them.
+//
+// threshold shifts the decision boundary: scores above it become code
+// hints, below it data hints (0 is the calibrated default; the F4
+// experiment sweeps it).
+func StatHints(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64) []Hint {
+	hs := make([]Hint, 0, g.Len()/2)
+	for off := 0; off < g.Len(); off++ {
+		if !g.Valid[off] {
+			continue
+		}
+		s := scores[off]
+		if s <= -1e8 {
+			continue
+		}
+		s -= penaltyWeight * BehaviorPenalty(g, off, 8)
+		s -= threshold
+		if s > 0 && viable[off] {
+			hs = append(hs, Hint{Kind: HintCode, Off: off, Prio: PrioStat,
+				Score: s, Src: "stat"})
+		}
+		// Negative-scoring offsets emit no hint: they are usually the
+		// *middles* of real instructions (padding NOPs, dead blocks), and
+		// a per-offset data claim would poison the true starts. Bytes no
+		// code chain claims default to data in the corrector's gap fill,
+		// which is driven by these same scores.
+	}
+	return hs
+}

@@ -1,0 +1,70 @@
+// Package analysis implements the static analyses of the disassembler: the
+// behavioural properties of code that flag data (invalid-chain viability,
+// stack/register sanity, rare-opcode penalties) and the structural pattern
+// analyses that prove facts (jump tables, call-target anchors, prologues,
+// fill/string/pointer data patterns).
+//
+// Every analysis emits Hints: prioritized, scored claims that a region is
+// code or data. The prioritized error-correction algorithm (package
+// correct) consumes them.
+package analysis
+
+import "sort"
+
+// Kind says what a hint claims.
+type Kind uint8
+
+// Hint kinds.
+const (
+	HintCode Kind = iota // an instruction starts at Off
+	HintData             // bytes [Off, Off+Len) are data
+)
+
+func (k Kind) String() string {
+	if k == HintCode {
+		return "code"
+	}
+	return "data"
+}
+
+// Priority bands, highest first. Proofs come from structural facts (a
+// decoded jump table and its targets); strong hints from multi-witness
+// evidence; medium from single-pattern matches; statistical hints carry
+// the probabilistic model's log-odds; weak hints are tie-breakers.
+const (
+	PrioProof  = 100
+	PrioStrong = 80
+	PrioMedium = 60
+	PrioStat   = 40
+	PrioWeak   = 20
+)
+
+// Hint is one prioritized claim about the binary.
+type Hint struct {
+	Kind Kind
+	Off  int // section offset
+	Len  int // region length for HintData; ignored for HintCode
+	Prio int // priority band; higher commits first
+	// Score orders hints within a band (higher first). For statistical
+	// hints it is the |log-odds| of the classification.
+	Score float64
+	// Src names the analysis that produced the hint (diagnostics).
+	Src string
+}
+
+// SortHints orders hints for the corrector: by priority, then score, then
+// offset (for determinism).
+func SortHints(hs []Hint) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Prio != hs[j].Prio {
+			return hs[i].Prio > hs[j].Prio
+		}
+		if hs[i].Score != hs[j].Score {
+			return hs[i].Score > hs[j].Score
+		}
+		if hs[i].Off != hs[j].Off {
+			return hs[i].Off < hs[j].Off
+		}
+		return hs[i].Kind < hs[j].Kind
+	})
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "probedis/internal/superset"
+
+// Viability computes, for every offset, whether an instruction starting
+// there could possibly execute without derailing: an offset is non-viable
+// if its decode is invalid, a forced successor (fallthrough or direct
+// branch target) leaves the section, or — transitively — any forced
+// successor is non-viable.
+//
+// This is the "invalid-opcode poisoning" behavioural property: real code
+// never runs into undefined encodings, so invalidity propagates backwards
+// along forced edges and rules out most data offsets as instruction
+// starts. Cycles are resolved with a greatest fixpoint (a loop with no
+// failing exit is viable).
+//
+// Note: in a multi-section binary, a direct branch to another section is
+// legitimate (PLT tail calls). This implementation analyses one section;
+// out-of-section direct branches are treated as non-viable, which matches
+// the static-executable corpus this repository evaluates on.
+func Viability(g *superset.Graph) []bool {
+	n := g.Len()
+	viable := make([]bool, n)
+	// preds[s] lists offsets having s as a forced successor.
+	preds := make([][]int32, n)
+	var work []int // non-viable worklist seeds
+
+	var succs []int
+	for off := 0; off < n; off++ {
+		if !g.Valid[off] {
+			work = append(work, off)
+			continue
+		}
+		viable[off] = true
+		succs = g.ForcedSuccs(succs[:0], off)
+		bad := false
+		for _, s := range succs {
+			if s < 0 {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			viable[off] = false
+			work = append(work, off)
+			continue
+		}
+		for _, s := range succs {
+			preds[s] = append(preds[s], int32(off))
+		}
+	}
+
+	// Propagate non-viability backwards: if any forced successor of p is
+	// non-viable, p is non-viable.
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p32 := range preds[s] {
+			p := int(p32)
+			if viable[p] {
+				viable[p] = false
+				work = append(work, p)
+			}
+		}
+	}
+	return viable
+}

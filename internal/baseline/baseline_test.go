@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/dis"
+	"probedis/internal/synth"
+)
+
+func corpus(t testing.TB) []*synth.Binary {
+	t.Helper()
+	var out []*synth.Binary
+	for i, p := range synth.DefaultProfiles {
+		b, err := synth.Generate(synth.Config{Seed: int64(70 + i), Profile: p, NumFuncs: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// score returns (instTP, instFP, instFN).
+func score(b *synth.Binary, res *dis.Result) (tp, fp, fn int) {
+	for i := range res.InstStart {
+		switch {
+		case res.InstStart[i] && b.Truth.InstStart[i]:
+			tp++
+		case res.InstStart[i]:
+			fp++
+		case b.Truth.InstStart[i]:
+			fn++
+		}
+	}
+	return
+}
+
+// TestRecursiveIsSound: pure recursive traversal from the entry point
+// never emits a false instruction (its defining property).
+func TestRecursiveIsSound(t *testing.T) {
+	for _, b := range corpus(t) {
+		res := Recursive{}.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))
+		_, fp, _ := score(b, res)
+		if fp != 0 {
+			t.Errorf("%s: recursive traversal emitted %d false instructions", b.Name, fp)
+		}
+	}
+}
+
+// TestRecursiveIsIncomplete: it must also miss code (otherwise it would
+// not be the under-approximating baseline the paper contrasts with).
+func TestRecursiveIsIncomplete(t *testing.T) {
+	missedSomewhere := false
+	for _, b := range corpus(t) {
+		res := Recursive{}.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))
+		_, _, fn := score(b, res)
+		if fn > 0 {
+			missedSomewhere = true
+		}
+	}
+	if !missedSomewhere {
+		t.Error("recursive traversal missed nothing — corpus lacks indirect-only code")
+	}
+}
+
+// TestHeuristicExtendsRecursive: the prologue-scan variant must strictly
+// dominate pure recursive traversal in recall.
+func TestHeuristicExtendsRecursive(t *testing.T) {
+	for _, b := range corpus(t) {
+		entry := int(b.Entry - b.Base)
+		pure := Recursive{}.Disassemble(b.Code, b.Base, entry)
+		heur := RecursiveHeur{}.Disassemble(b.Code, b.Base, entry)
+		tpP, _, _ := score(b, pure)
+		tpH, _, _ := score(b, heur)
+		if tpH < tpP {
+			t.Errorf("%s: heuristics lost instructions: %d < %d", b.Name, tpH, tpP)
+		}
+	}
+}
+
+// TestLinearSweepDerails: on data-dense binaries linear sweep must show
+// its characteristic false positives inside embedded data.
+func TestLinearSweepDerails(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 74, Profile: synth.ProfileComplex, NumFuncs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LinearSweep{}.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))
+	_, fp, _ := score(b, res)
+	if fp == 0 {
+		t.Error("linear sweep produced no false instructions on a data-dense binary")
+	}
+	// Everything it emits must still be a valid decode (IsCode tiling).
+	n := 0
+	for _, c := range res.IsCode {
+		if c {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("linear sweep classified nothing as code")
+	}
+}
+
+// TestStatOnlyBetweenExtremes: the statistical baseline should beat linear
+// sweep but lose to the full system.
+func TestStatOnlyBetweenExtremes(t *testing.T) {
+	model := core.DefaultModel()
+	so := &StatOnly{Model: model}
+	full := core.New(model)
+	var fpSO, fnSO, fpLin, fnLin, fpFull, fnFull int
+	for _, b := range corpus(t) {
+		entry := int(b.Entry - b.Base)
+		_, fp1, fn1 := score(b, so.Disassemble(b.Code, b.Base, entry))
+		_, fp2, fn2 := score(b, LinearSweep{}.Disassemble(b.Code, b.Base, entry))
+		_, fp3, fn3 := score(b, full.Disassemble(b.Code, b.Base, entry))
+		fpSO += fp1
+		fnSO += fn1
+		fpLin += fp2
+		fnLin += fn2
+		fpFull += fp3
+		fnFull += fn3
+	}
+	if fpSO+fnSO >= fpLin+fnLin {
+		t.Errorf("stat-only (%d errors) not better than linear sweep (%d)",
+			fpSO+fnSO, fpLin+fnLin)
+	}
+	if fpFull+fnFull >= fpSO+fnSO {
+		t.Errorf("full system (%d errors) not better than stat-only (%d)",
+			fpFull+fnFull, fpSO+fnSO)
+	}
+}
+
+// TestEnginesList sanity-checks the factory.
+func TestEnginesList(t *testing.T) {
+	es := Engines(core.DefaultModel())
+	if len(es) != 4 {
+		t.Fatalf("engines = %d", len(es))
+	}
+	names := map[string]bool{}
+	for _, e := range es {
+		if names[e.Name()] {
+			t.Errorf("duplicate engine name %q", e.Name())
+		}
+		names[e.Name()] = true
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, e := range Engines(core.DefaultModel()) {
+		res := e.Disassemble(nil, 0x1000, -1)
+		if res.Len() != 0 {
+			t.Errorf("%s: non-empty result for empty input", e.Name())
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package baseline reimplements the disassembly algorithms the paper
+// compares against, with their characteristic failure modes:
+//
+//   - LinearSweep (objdump-style): decodes sequentially from the section
+//     start, treating everything as code — embedded data derails it.
+//   - Recursive (pure recursive traversal): follows control flow from the
+//     entry point only — misses functions reached indirectly.
+//   - RecursiveHeur (IDA-style): recursive traversal plus prologue and
+//     call-target heuristics over unreached gaps.
+//   - StatOnly (XDA-style): a purely probabilistic per-offset classifier
+//     with greedy tiling and no structural analyses.
+package baseline
+
+import (
+	"probedis/internal/dis"
+	"probedis/internal/x86"
+)
+
+// LinearSweep is the objdump-like engine.
+type LinearSweep struct{}
+
+// Name implements dis.Engine.
+func (LinearSweep) Name() string { return "linear-sweep" }
+
+// Disassemble decodes front to back; undecodable bytes are skipped one at
+// a time (objdump prints them as .byte and resumes at the next offset).
+func (LinearSweep) Disassemble(code []byte, base uint64, entry int) *dis.Result {
+	res := dis.NewResult(base, len(code))
+	pos := 0
+	for pos < len(code) {
+		inst, err := x86.Decode(code[pos:], base+uint64(pos))
+		if err != nil {
+			pos++ // .byte, stays classified as data
+			continue
+		}
+		res.InstStart[pos] = true
+		for i := pos; i < pos+inst.Len; i++ {
+			res.IsCode[i] = true
+		}
+		pos += inst.Len
+	}
+	if entry >= 0 && entry < len(code) {
+		res.FuncStarts = append(res.FuncStarts, entry)
+	}
+	return res
+}

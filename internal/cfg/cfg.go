@@ -1,0 +1,158 @@
+// Package cfg recovers basic blocks and function boundaries from a
+// committed instruction classification — the structure downstream binary
+// analysis and instrumentation consume.
+package cfg
+
+import (
+	"sort"
+
+	"probedis/internal/superset"
+	"probedis/internal/x86"
+)
+
+// Block is a basic block of committed instructions: [Start, End) with
+// successor block start offsets.
+type Block struct {
+	Start, End int
+	Succs      []int
+	// Terminator is the flow kind of the last instruction.
+	Terminator x86.Flow
+}
+
+// Func is a recovered function: its entry offset and its blocks (offsets
+// into CFG.Blocks order).
+type Func struct {
+	Entry  int
+	Blocks []int // block start offsets belonging to this function
+}
+
+// CFG is the recovered control-flow structure of one text section.
+type CFG struct {
+	Blocks map[int]*Block
+	Funcs  []Func
+	// starts is the sorted list of block start offsets.
+	starts []int
+}
+
+// Build recovers blocks and functions. instStart marks committed
+// instruction starts; seeds are function-entry candidates (program entry,
+// call targets, prologue anchors) — they are filtered to committed
+// instruction starts.
+func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
+	n := g.Len()
+
+	// Collect call targets from committed code as additional seeds.
+	leaders := map[int]bool{}
+	funcSet := map[int]bool{}
+	for _, s := range seeds {
+		if s >= 0 && s < n && instStart[s] {
+			funcSet[s] = true
+			leaders[s] = true
+		}
+	}
+	for off := 0; off < n; off++ {
+		if !instStart[off] {
+			continue
+		}
+		inst := &g.Insts[off]
+		switch inst.Flow {
+		case x86.FlowCall:
+			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
+				funcSet[t] = true
+				leaders[t] = true
+			}
+			leaders[off+inst.Len] = true
+		case x86.FlowJump, x86.FlowCondJump:
+			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
+				leaders[t] = true
+			}
+			leaders[off+inst.Len] = true
+		case x86.FlowIndirectJump, x86.FlowIndirectCall, x86.FlowRet, x86.FlowHalt:
+			leaders[off+inst.Len] = true
+		}
+	}
+	// The first instruction of any maximal code run is a leader.
+	prevEnd := -1
+	for off := 0; off < n; off++ {
+		if !instStart[off] {
+			continue
+		}
+		if off != prevEnd {
+			leaders[off] = true
+		}
+		prevEnd = off + g.Insts[off].Len
+	}
+
+	c := &CFG{Blocks: map[int]*Block{}}
+	for off := 0; off < n; off++ {
+		if !instStart[off] || !leaders[off] {
+			continue
+		}
+		b := &Block{Start: off}
+		pos := off
+		for {
+			inst := &g.Insts[pos]
+			next := pos + inst.Len
+			b.End = next
+			b.Terminator = inst.Flow
+			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
+				switch inst.Flow {
+				case x86.FlowJump, x86.FlowCondJump:
+					b.Succs = append(b.Succs, t)
+				}
+			}
+			if inst.Flow.HasFallthrough() && next < n && instStart[next] {
+				if leaders[next] {
+					b.Succs = append(b.Succs, next)
+					break
+				}
+				pos = next
+				continue
+			}
+			break
+		}
+		c.Blocks[off] = b
+		c.starts = append(c.starts, off)
+	}
+	sort.Ints(c.starts)
+
+	// Function extents: each function owns the blocks from its entry up to
+	// the next function entry.
+	var fstarts []int
+	for f := range funcSet {
+		fstarts = append(fstarts, f)
+	}
+	sort.Ints(fstarts)
+	for i, f := range fstarts {
+		end := n
+		if i+1 < len(fstarts) {
+			end = fstarts[i+1]
+		}
+		fn := Func{Entry: f}
+		for _, s := range c.starts {
+			if s >= f && s < end {
+				fn.Blocks = append(fn.Blocks, s)
+			}
+		}
+		c.Funcs = append(c.Funcs, fn)
+	}
+	return c
+}
+
+// FuncStarts returns the sorted function entry offsets.
+func (c *CFG) FuncStarts() []int {
+	out := make([]int, len(c.Funcs))
+	for i, f := range c.Funcs {
+		out[i] = f.Entry
+	}
+	return out
+}
+
+// NumBlocks returns the number of basic blocks.
+func (c *CFG) NumBlocks() int { return len(c.Blocks) }
+
+// BlockAt returns the block starting at off, or nil.
+func (c *CFG) BlockAt(off int) *Block { return c.Blocks[off] }
+
+// Starts returns all block start offsets in ascending order.
+func (c *CFG) Starts() []int { return c.starts }

@@ -1,0 +1,40 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/synth"
+)
+
+// TestFunctionRecoveryOnCorpus compares recovered function starts against
+// ground truth on a generated binary through the full pipeline.
+func TestFunctionRecoveryOnCorpus(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 61, Profile: synth.ProfileO2, NumFuncs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.New(core.DefaultModel())
+	res := d.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))
+
+	truth := map[int]bool{}
+	for _, f := range b.Truth.FuncStarts {
+		truth[f] = true
+	}
+	tp, fp := 0, 0
+	for _, f := range res.FuncStarts {
+		if truth[f] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	recall := float64(tp) / float64(len(truth))
+	t.Logf("func starts: tp=%d fp=%d truth=%d recall=%.3f", tp, fp, len(truth), recall)
+	if recall < 0.9 {
+		t.Errorf("function recall %.3f < 0.9", recall)
+	}
+	if fp > len(truth)/10 {
+		t.Errorf("function FPs %d too high", fp)
+	}
+}

@@ -1,0 +1,185 @@
+// Package core is the public entry point of the metadata-free
+// disassembler: it combines superset disassembly, the data-driven
+// statistical models, the static/behavioural analyses and the prioritized
+// error-correction algorithm into a byte-precise code/data classification
+// with recovered instructions, basic blocks and functions.
+//
+// Typical use:
+//
+//	d := core.New(core.DefaultModel())
+//	res := d.Disassemble(text, base, entryOff)
+package core
+
+import (
+	"probedis/internal/analysis"
+	"probedis/internal/cfg"
+	"probedis/internal/correct"
+	"probedis/internal/dis"
+	"probedis/internal/stats"
+	"probedis/internal/superset"
+)
+
+// Option configures a Disassembler.
+type Option func(*Disassembler)
+
+// WithoutStats disables the statistical classification layer (ablation:
+// analyses + correction only).
+func WithoutStats() Option { return func(d *Disassembler) { d.useStats = false } }
+
+// WithoutBehavior disables the behavioural chain penalty (ablation).
+func WithoutBehavior() Option { return func(d *Disassembler) { d.penaltyWeight = 0 } }
+
+// WithoutJumpTables disables jump-table discovery (ablation).
+func WithoutJumpTables() Option { return func(d *Disassembler) { d.useJumpTables = false } }
+
+// WithoutPrioritization removes the prioritized commit order (ablation):
+// every hint gets the same priority and score, so the corrector consumes
+// evidence in address order — the naive single-pass strategy — instead of
+// proofs-first. The analyses still run; only the combination loses its
+// ordering.
+func WithoutPrioritization() Option { return func(d *Disassembler) { d.flatPrio = true } }
+
+// WithThreshold shifts the statistical decision boundary (F4 sweep).
+func WithThreshold(t float64) Option { return func(d *Disassembler) { d.threshold = t } }
+
+// WithFloatRuns enables the experimental unreferenced-constant-pool
+// detector (see analysis.FloatRunHints for why it is off by default).
+func WithFloatRuns() Option { return func(d *Disassembler) { d.useFloatRuns = true } }
+
+// WithWindow sets the scoring window in instructions (default 8).
+func WithWindow(w int) Option { return func(d *Disassembler) { d.window = w } }
+
+// Disassembler is a configured metadata-free disassembly pipeline. It is
+// safe for concurrent use: all per-run state lives on the stack of
+// Disassemble.
+type Disassembler struct {
+	model *stats.Model
+
+	useStats      bool
+	useJumpTables bool
+	useFloatRuns  bool
+	flatPrio      bool
+	penaltyWeight float64
+	threshold     float64
+	window        int
+}
+
+// New returns a Disassembler using the given trained model. A nil model is
+// allowed only with WithoutStats.
+func New(model *stats.Model, opts ...Option) *Disassembler {
+	d := &Disassembler{
+		model:         model,
+		useStats:      true,
+		useJumpTables: true,
+		penaltyWeight: 1.0,
+		window:        8,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.model == nil {
+		d.useStats = false
+	}
+	return d
+}
+
+// Name implements dis.Engine.
+func (d *Disassembler) Name() string { return "probedis" }
+
+// Disassemble classifies one text section. entry is the section-relative
+// entry-point offset, or -1 when unknown.
+func (d *Disassembler) Disassemble(code []byte, base uint64, entry int) *dis.Result {
+	g := superset.Build(code, base)
+	return d.run(g, entry).Result
+}
+
+// Detail bundles the full pipeline output for callers that need more than
+// the classification (listings, CFG consumers, the benchmarks).
+type Detail struct {
+	Result  *dis.Result
+	Graph   *superset.Graph
+	Viable  []bool
+	Tables  []analysis.JumpTable
+	Hints   int
+	Outcome *correct.Outcome
+	CFG     *cfg.CFG
+}
+
+// DisassembleDetail is Disassemble plus all intermediate products.
+func (d *Disassembler) DisassembleDetail(code []byte, base uint64, entry int) *Detail {
+	return d.run(superset.Build(code, base), entry)
+}
+
+func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
+	viable := analysis.Viability(g)
+
+	var scores []float64
+	if d.useStats {
+		scores = d.model.ScoreAll(g, d.window)
+	}
+	hints, tables := d.CollectHints(g, viable, entry, scores)
+	if d.flatPrio {
+		for i := range hints {
+			hints[i].Prio = analysis.PrioStat
+			hints[i].Score = 0
+		}
+	}
+
+	out := correct.Run(g, viable, hints, correct.Options{Scores: scores})
+
+	res := dis.NewResult(g.Base, g.Len())
+	for i, s := range out.State {
+		res.IsCode[i] = s == correct.Code
+	}
+	copy(res.InstStart, out.InstStart)
+
+	// Function recovery.
+	seeds := []int{}
+	if entry >= 0 {
+		seeds = append(seeds, entry)
+	}
+	for _, h := range hints {
+		if h.Kind == analysis.HintCode &&
+			(h.Src == "calltarget" || h.Src == "prologue" || h.Src == "entry") {
+			seeds = append(seeds, h.Off)
+		}
+	}
+	c := cfg.Build(g, out.InstStart, seeds)
+	res.FuncStarts = c.FuncStarts()
+
+	return &Detail{
+		Result:  res,
+		Graph:   g,
+		Viable:  viable,
+		Tables:  tables,
+		Hints:   len(hints),
+		Outcome: out,
+		CFG:     c,
+	}
+}
+
+// CollectHints runs every enabled analysis and returns the combined hint
+// list (unsorted) plus discovered jump tables. scores may be nil when the
+// statistical layer is disabled. Exposed for the convergence experiment,
+// which replays correction with a bounded hint budget.
+func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int, scores []float64) ([]analysis.Hint, []analysis.JumpTable) {
+	var hints []analysis.Hint
+	hints = append(hints, analysis.EntryHint(g, entry)...)
+
+	var tables []analysis.JumpTable
+	if d.useJumpTables {
+		tables = analysis.FindJumpTables(g, viable)
+		hints = append(hints, analysis.JumpTableHints(tables)...)
+	}
+	hints = append(hints, analysis.CallTargetHints(g, viable)...)
+	hints = append(hints, analysis.PrologueHints(g, viable)...)
+	hints = append(hints, analysis.DataPatternHints(g)...)
+	hints = append(hints, analysis.LiteralPoolHints(g, viable)...)
+	if d.useFloatRuns {
+		hints = append(hints, analysis.FloatRunHints(g)...)
+	}
+	if d.useStats && scores != nil {
+		hints = append(hints, analysis.StatHints(g, viable, scores, d.penaltyWeight, d.threshold)...)
+	}
+	return hints, tables
+}

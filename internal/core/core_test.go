@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+func accuracy(b *synth.Binary, isCode, instStart []bool) (byteErr float64, fp, fn, tp int) {
+	wrongBytes := 0
+	for i, c := range b.Truth.Classes {
+		var truthCode bool = c == synth.ClassCode
+		if isCode[i] != truthCode {
+			wrongBytes++
+		}
+	}
+	for i := range instStart {
+		switch {
+		case instStart[i] && b.Truth.InstStart[i]:
+			tp++
+		case instStart[i] && !b.Truth.InstStart[i]:
+			fp++
+		case !instStart[i] && b.Truth.InstStart[i]:
+			fn++
+		}
+	}
+	return float64(wrongBytes) / float64(len(b.Code)), fp, fn, tp
+}
+
+func TestEndToEndAccuracy(t *testing.T) {
+	d := New(DefaultModel())
+	for _, p := range synth.DefaultProfiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			b, err := synth.Generate(synth.Config{Seed: 5, Profile: p, NumFuncs: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := int(b.Entry - b.Base)
+			res := d.Disassemble(b.Code, b.Base, entry)
+			byteErr, fp, fn, tp := accuracy(b, res.IsCode, res.InstStart)
+			t.Logf("bytes=%d dataBytes=%d byteErr=%.5f instFP=%d instFN=%d instTP=%d",
+				len(b.Code), b.Truth.DataBytes(), byteErr, fp, fn, tp)
+			if byteErr > 0.02 {
+				t.Errorf("byte error rate %.4f > 2%%", byteErr)
+			}
+			if tp == 0 {
+				t.Fatal("no true positives")
+			}
+			if errFrac := float64(fp+fn) / float64(tp+fn); errFrac > 0.03 {
+				t.Errorf("instruction error fraction %.4f > 3%%", errFrac)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"probedis/internal/dis"
+	"probedis/internal/elfx"
+	"probedis/internal/superset"
+)
+
+// SectionResult pairs one executable section with its classification.
+type SectionResult struct {
+	Name   string
+	Addr   uint64
+	Result *dis.Result
+}
+
+// SectionDetail pairs one executable section with the full pipeline output.
+type SectionDetail struct {
+	Name   string
+	Addr   uint64
+	Data   []byte
+	Detail *Detail
+}
+
+// DisassembleELFDetail is DisassembleELF returning the full pipeline
+// detail per section. Other executable sections are registered as
+// legitimate cross-section branch targets (PLT stubs, .init/.fini), so
+// inter-section tail calls do not poison viability.
+func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error) {
+	f, err := elfx.Parse(img)
+	if err != nil {
+		return nil, err
+	}
+	secs := f.ExecutableSections()
+	if len(secs) == 0 {
+		return nil, fmt.Errorf("core: no executable sections")
+	}
+	var out []SectionDetail
+	for i, s := range secs {
+		entry := -1
+		if f.Entry >= s.Addr && f.Entry < s.Addr+s.Size {
+			entry = int(f.Entry - s.Addr)
+		}
+		var extern []superset.Range
+		for j, o := range secs {
+			if j != i {
+				extern = append(extern, superset.Range{Start: o.Addr, End: o.Addr + o.Size})
+			}
+		}
+		g := superset.Build(s.Data, s.Addr)
+		g.SetExtern(extern)
+		out = append(out, SectionDetail{
+			Name:   s.Name,
+			Addr:   s.Addr,
+			Data:   s.Data,
+			Detail: d.run(g, entry),
+		})
+	}
+	return out, nil
+}
+
+// DisassembleELF parses a (possibly fully stripped) ELF64 image and
+// disassembles every executable section.
+func (d *Disassembler) DisassembleELF(img []byte) ([]SectionResult, error) {
+	details, err := d.DisassembleELFDetail(img)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SectionResult, len(details))
+	for i, s := range details {
+		out[i] = SectionResult{Name: s.Name, Addr: s.Addr, Result: s.Detail.Result}
+	}
+	return out, nil
+}

@@ -1,0 +1,385 @@
+// Package correct implements the prioritized error-correction algorithm
+// that combines the statistical and behavioural evidence into a final
+// byte-precise code/data classification.
+//
+// Hints are committed in priority order. Committing a code hint decodes
+// and occupies the instruction chain it implies (fallthrough edges and
+// direct branch targets are forced facts); committing a data hint reserves
+// bytes as data. Every commitment constrains later, lower-priority hints:
+// a hint whose region conflicts with already-committed facts is rejected —
+// this is how high-confidence structural proofs "correct" the errors the
+// purely statistical layer would make.
+package correct
+
+import (
+	"math"
+	"sort"
+
+	"probedis/internal/analysis"
+	"probedis/internal/superset"
+)
+
+// State is the correction state of one byte.
+type State uint8
+
+// Byte states.
+const (
+	Unknown State = iota
+	Code
+	Data
+)
+
+// Options tunes a correction run.
+type Options struct {
+	// MaxHints stops after committing/rejecting this many hints
+	// (0 = no limit). Used by the convergence experiment (F3).
+	MaxHints int
+	// Scores are the per-offset statistical scores used to resolve
+	// leftover unknown gaps (nil disables score-guided gap fill and
+	// treats unresolvable gaps as data).
+	Scores []float64
+	// NoGapFill leaves Unknown bytes unresolved (ablation).
+	NoGapFill bool
+}
+
+// Outcome is the result of a correction run.
+type Outcome struct {
+	State     []State
+	InstStart []bool
+	// Owner[i] is the start offset of the committed instruction covering
+	// byte i, or -1.
+	Owner []int32
+
+	// Srcs interns the hint sources; SrcOf[i] indexes into it and names
+	// the analysis whose hint decided byte i (code or data). Index 0 is
+	// always "" (undecided / gap fill).
+	Srcs  []string
+	SrcOf []uint8
+
+	Committed int // hints that contributed at least one new byte
+	Rejected  int // hints dropped due to conflicts
+	Retracted int // committed instructions undone by the retraction pass
+}
+
+// SrcName returns the name of the analysis that decided byte i
+// ("gapfill" when no hint claimed it).
+func (o *Outcome) SrcName(i int) string {
+	if s := o.Srcs[o.SrcOf[i]]; s != "" {
+		return s
+	}
+	return "gapfill"
+}
+
+// Run executes prioritized error correction over the superset graph.
+// hints are consumed in SortHints order; viable gates all code commits.
+func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) *Outcome {
+	n := g.Len()
+	o := &Outcome{
+		State:     make([]State, n),
+		InstStart: make([]bool, n),
+		Owner:     make([]int32, n),
+		Srcs:      []string{""},
+		SrcOf:     make([]uint8, n),
+	}
+	for i := range o.Owner {
+		o.Owner[i] = -1
+	}
+
+	order := sortOrder(hints)
+
+	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0}}
+	for i, hi := range order {
+		if opts.MaxHints > 0 && i >= opts.MaxHints {
+			break
+		}
+		h := hints[hi]
+		c.curSrc = c.internSrc(h.Src)
+		var ok bool
+		switch h.Kind {
+		case analysis.HintCode:
+			ok = c.commitChain(h.Off)
+		case analysis.HintData:
+			ok = c.commitData(h.Off, h.Len)
+		}
+		if ok {
+			o.Committed++
+		} else {
+			o.Rejected++
+		}
+	}
+
+	o.Retracted = c.retract()
+	if !opts.NoGapFill {
+		c.fillGaps(opts.Scores)
+	}
+	return o
+}
+
+// retract is the error-correction fixpoint: committed instructions whose
+// forced successor turned out to be data (or the middle of another
+// committed instruction) were wrong — un-commit them, turning their bytes
+// into data, and repeat until no contradiction remains. Returns the number
+// of instructions retracted.
+func (c *corrector) retract() int {
+	total := 0
+	for {
+		changed := 0
+		for off := 0; off < c.g.Len(); off++ {
+			if !c.out.InstStart[off] {
+				continue
+			}
+			bad := false
+			for _, s := range c.g.ForcedSuccs(c.succs[:0], off) {
+				if s < 0 {
+					bad = true
+					break
+				}
+				if c.out.State[s] == Data ||
+					(c.out.Owner[s] != -1 && !c.out.InstStart[s]) {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				continue
+			}
+			from, to := c.g.Occupies(off)
+			for i := from; i < to; i++ {
+				c.out.State[i] = Data
+				c.out.Owner[i] = -1
+				c.out.SrcOf[i] = 0
+			}
+			c.out.InstStart[off] = false
+			changed++
+		}
+		total += changed
+		if changed == 0 {
+			return total
+		}
+	}
+}
+
+// sortOrder returns hint indices in commit order (the same order as
+// analysis.SortHints) without moving the hint structs: each hint collapses
+// into one packed uint64 key, so the sort swaps 4-byte indices and
+// compares single integers.
+//
+// Key layout, compared descending: priority (8 bits) | score as an
+// order-preserving truncated float32 pattern (24 bits) | bitwise-inverted
+// offset (30 bits, sections up to 1 GiB) | inverted kind (code before
+// data on full ties). Near-equal scores may collapse to the same 24-bit
+// pattern and fall through to the deterministic offset order.
+func sortOrder(hints []analysis.Hint) []int32 {
+	keys := make([]uint64, len(hints))
+	order := make([]int32, len(hints))
+	const offBits = 30
+	for i, h := range hints {
+		var sbits uint64
+		if h.Score > 0 {
+			sbits = uint64(math.Float32bits(float32(h.Score))) >> 8
+		}
+		prio := h.Prio
+		if prio < 0 {
+			prio = 0
+		} else if prio > 255 {
+			prio = 255
+		}
+		off := h.Off
+		if off < 0 {
+			off = 0
+		} else if off >= 1<<offBits {
+			off = 1<<offBits - 1
+		}
+		keys[i] = uint64(prio)<<55 | sbits<<31 |
+			uint64((1<<offBits-1)-off)<<1 | uint64(1-h.Kind)
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka > kb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+type corrector struct {
+	g      *superset.Graph
+	viable []bool
+	out    *Outcome
+	stack  []int
+	succs  []int
+
+	srcIdx map[string]uint8
+	curSrc uint8
+}
+
+// internSrc maps a hint source name to its index in Outcome.Srcs. The
+// table is capped at 255 distinct names (ample for the fixed analysis
+// set); overflow collapses to index 0.
+func (c *corrector) internSrc(s string) uint8 {
+	if i, ok := c.srcIdx[s]; ok {
+		return i
+	}
+	if len(c.out.Srcs) >= 255 {
+		return 0
+	}
+	i := uint8(len(c.out.Srcs))
+	c.out.Srcs = append(c.out.Srcs, s)
+	c.srcIdx[s] = i
+	return i
+}
+
+// canPlace reports whether the instruction at off can be committed without
+// contradicting existing facts.
+func (c *corrector) canPlace(off int) bool {
+	if off < 0 || off >= c.g.Len() || !c.viable[off] {
+		return false
+	}
+	if c.out.InstStart[off] {
+		return true // already committed, trivially consistent
+	}
+	if c.out.Owner[off] != -1 {
+		return false // inside another committed instruction
+	}
+	from, to := c.g.Occupies(off)
+	for i := from; i < to; i++ {
+		if c.out.State[i] == Data || (c.out.Owner[i] != -1 && c.out.Owner[i] != int32(off)) {
+			return false
+		}
+	}
+	// One-step lookahead: an instruction whose forced successor starts on
+	// a proven-data byte cannot be code (code never falls into data).
+	for _, s := range c.g.ForcedSuccs(c.succs[:0], off) {
+		if s >= 0 && c.out.State[s] == Data {
+			return false
+		}
+	}
+	return true
+}
+
+// commitChain commits the instruction at off and transitively everything
+// it forces (fallthrough, direct targets). Paths that hit a contradiction
+// are abandoned without rolling back the consistent prefix. Returns false
+// if nothing new was committed.
+func (c *corrector) commitChain(off int) bool {
+	if !c.canPlace(off) {
+		return false
+	}
+	progressed := false
+	c.stack = append(c.stack[:0], off)
+	for len(c.stack) > 0 {
+		o := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		if c.out.InstStart[o] || !c.canPlace(o) {
+			continue
+		}
+		from, to := c.g.Occupies(o)
+		for i := from; i < to; i++ {
+			c.out.State[i] = Code
+			c.out.Owner[i] = int32(o)
+			c.out.SrcOf[i] = c.curSrc
+		}
+		c.out.InstStart[o] = true
+		progressed = true
+		for _, s := range c.g.ForcedSuccs(nil, o) {
+			if s >= 0 {
+				c.stack = append(c.stack, s)
+			}
+		}
+	}
+	return progressed
+}
+
+// commitData reserves [off, off+n) as data, skipping bytes already proven
+// code. Returns false when a majority of the region was already code (the
+// hint is considered refuted).
+func (c *corrector) commitData(off, n int) bool {
+	if n <= 0 || off < 0 || off >= c.g.Len() {
+		return false
+	}
+	end := off + n
+	if end > c.g.Len() {
+		end = c.g.Len()
+	}
+	placed, blocked := 0, 0
+	for i := off; i < end; i++ {
+		switch c.out.State[i] {
+		case Code:
+			blocked++
+		case Unknown:
+			c.out.State[i] = Data
+			c.out.SrcOf[i] = c.curSrc
+			placed++
+		}
+	}
+	return placed > 0 && blocked <= placed
+}
+
+// fillGaps resolves remaining Unknown runs. A gap whose start scores
+// code-like is tiled with a linear decode chain; anything that cannot be
+// tiled consistently becomes data.
+func (c *corrector) fillGaps(scores []float64) {
+	n := c.g.Len()
+	for a := 0; a < n; {
+		if c.out.State[a] != Unknown {
+			a++
+			continue
+		}
+		b := a
+		for b < n && c.out.State[b] == Unknown {
+			b++
+		}
+		c.fillGap(a, b, scores)
+		a = b
+	}
+}
+
+func (c *corrector) fillGap(a, b int, scores []float64) {
+	codeLike := scores == nil || (a < len(scores) && scores[a] > 0)
+	// A gap that tiles exactly with NOP-family instructions is alignment
+	// padding: emit it as code regardless of its statistical score (NOP
+	// padding is valid, never-executed code).
+	if !codeLike && c.nopTiles(a, b) {
+		codeLike = true
+	}
+	pos := a
+	for pos < b {
+		if codeLike && c.canPlace(pos) {
+			from, to := c.g.Occupies(pos)
+			// Only tile instructions that fit inside the gap: poking into
+			// the committed region past b would contradict it.
+			if to <= b {
+				for i := from; i < to; i++ {
+					c.out.State[i] = Code
+					c.out.Owner[i] = int32(pos)
+				}
+				c.out.InstStart[pos] = true
+				pos = to
+				continue
+			}
+		}
+		// Not tilable as code: data byte.
+		c.out.State[pos] = Data
+		pos++
+		codeLike = false // once derailed, finish the gap as data
+	}
+}
+
+// nopTiles reports whether [a, b) decodes as a pure run of NOP-family
+// instructions ending exactly at b.
+func (c *corrector) nopTiles(a, b int) bool {
+	pos := a
+	for pos < b {
+		if !c.g.Valid[pos] {
+			return false
+		}
+		inst := &c.g.Insts[pos]
+		if !inst.IsNop() {
+			return false
+		}
+		pos += inst.Len
+	}
+	return pos == b
+}

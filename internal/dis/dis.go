@@ -1,0 +1,60 @@
+// Package dis defines the result types shared by every disassembly engine
+// in this repository (the metadata-free core and the baselines), so the
+// evaluation harness can score them uniformly.
+package dis
+
+// Result is a disassembler's byte-precise output for one text section.
+type Result struct {
+	Base uint64 // virtual address of byte 0
+
+	// IsCode[i] reports whether byte i was classified as code.
+	IsCode []bool
+	// InstStart[i] reports whether an instruction was emitted at byte i.
+	InstStart []bool
+	// FuncStarts are section-relative offsets identified as function
+	// entry points (sorted ascending).
+	FuncStarts []int
+}
+
+// NewResult allocates an empty result for n bytes.
+func NewResult(base uint64, n int) *Result {
+	return &Result{
+		Base:      base,
+		IsCode:    make([]bool, n),
+		InstStart: make([]bool, n),
+	}
+}
+
+// Len returns the section size in bytes.
+func (r *Result) Len() int { return len(r.IsCode) }
+
+// CodeBytes counts bytes classified as code.
+func (r *Result) CodeBytes() int {
+	n := 0
+	for _, c := range r.IsCode {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// NumInsts counts emitted instructions.
+func (r *Result) NumInsts() int {
+	n := 0
+	for _, s := range r.InstStart {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Engine is a disassembly engine that classifies a code image.
+type Engine interface {
+	// Name identifies the engine in evaluation output.
+	Name() string
+	// Disassemble classifies the image. entry is the section-relative
+	// offset of the program entry point (-1 if unknown).
+	Disassemble(code []byte, base uint64, entry int) *Result
+}

@@ -1,0 +1,26 @@
+package dis
+
+import "testing"
+
+func TestNewResult(t *testing.T) {
+	r := NewResult(0x400000, 16)
+	if r.Len() != 16 || r.Base != 0x400000 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.CodeBytes() != 0 || r.NumInsts() != 0 {
+		t.Errorf("fresh result not empty")
+	}
+	r.IsCode[3] = true
+	r.IsCode[4] = true
+	r.InstStart[3] = true
+	if r.CodeBytes() != 2 || r.NumInsts() != 1 {
+		t.Errorf("CodeBytes=%d NumInsts=%d", r.CodeBytes(), r.NumInsts())
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	r := NewResult(0, 0)
+	if r.Len() != 0 || r.CodeBytes() != 0 || r.NumInsts() != 0 {
+		t.Errorf("zero-length result: %+v", r)
+	}
+}

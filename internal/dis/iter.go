@@ -1,0 +1,45 @@
+package dis
+
+import "probedis/internal/x86"
+
+// Instructions decodes every recovered instruction in the result, in
+// address order. code must be the same image the result classified.
+// Results that mark an undecodable offset (impossible for engines in this
+// repository, but allowed by the interface) skip the offset.
+func (r *Result) Instructions(code []byte) []x86.Inst {
+	out := make([]x86.Inst, 0, r.NumInsts())
+	for off := range r.InstStart {
+		if !r.InstStart[off] {
+			continue
+		}
+		inst, err := x86.Decode(code[off:], r.Base+uint64(off))
+		if err != nil {
+			continue
+		}
+		out = append(out, inst)
+	}
+	return out
+}
+
+// Region is a maximal run of same-classified bytes.
+type Region struct {
+	From, To int // section offsets, [From, To)
+	Code     bool
+}
+
+// Len returns the region size in bytes.
+func (r Region) Len() int { return r.To - r.From }
+
+// Regions returns the alternating code/data regions of the result.
+func (r *Result) Regions() []Region {
+	var out []Region
+	for i := 0; i < len(r.IsCode); {
+		j := i
+		for j < len(r.IsCode) && r.IsCode[j] == r.IsCode[i] {
+			j++
+		}
+		out = append(out, Region{From: i, To: j, Code: r.IsCode[i]})
+		i = j
+	}
+	return out
+}

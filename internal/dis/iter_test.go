@@ -1,0 +1,55 @@
+package dis
+
+import (
+	"testing"
+
+	"probedis/internal/x86"
+)
+
+func TestInstructions(t *testing.T) {
+	// push rbp; mov rbp,rsp; ret; <data>
+	code := []byte{0x55, 0x48, 0x89, 0xe5, 0xc3, 0xde, 0xad}
+	r := NewResult(0x1000, len(code))
+	for i := 0; i < 5; i++ {
+		r.IsCode[i] = true
+	}
+	r.InstStart[0], r.InstStart[1], r.InstStart[4] = true, true, true
+
+	insts := r.Instructions(code)
+	if len(insts) != 3 {
+		t.Fatalf("instructions = %d", len(insts))
+	}
+	if insts[0].Op != x86.PUSH || insts[1].Op != x86.MOV || insts[2].Op != x86.RET {
+		t.Errorf("ops = %v %v %v", insts[0].Op, insts[1].Op, insts[2].Op)
+	}
+	if insts[1].Addr != 0x1001 {
+		t.Errorf("addr = %#x", insts[1].Addr)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	r := NewResult(0, 8)
+	for _, i := range []int{0, 1, 2, 6, 7} {
+		r.IsCode[i] = true
+	}
+	regions := r.Regions()
+	want := []Region{{0, 3, true}, {3, 6, false}, {6, 8, true}}
+	if len(regions) != len(want) {
+		t.Fatalf("regions = %+v", regions)
+	}
+	for i := range want {
+		if regions[i] != want[i] {
+			t.Errorf("region %d = %+v, want %+v", i, regions[i], want[i])
+		}
+	}
+	if regions[1].Len() != 3 {
+		t.Errorf("len = %d", regions[1].Len())
+	}
+}
+
+func TestRegionsEmpty(t *testing.T) {
+	r := NewResult(0, 0)
+	if regs := r.Regions(); len(regs) != 0 {
+		t.Errorf("regions of empty = %v", regs)
+	}
+}

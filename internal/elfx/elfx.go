@@ -1,0 +1,221 @@
+// Package elfx reads and writes the minimal subset of ELF64 needed by the
+// disassembly pipeline: locating executable/loadable sections of stripped
+// static binaries, and emitting synthetic stripped executables for the
+// evaluation corpus. It is self-contained (no debug/elf) so the on-disk
+// layout is fully under the project's control.
+package elfx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ELF constants (the subset used here).
+const (
+	ElfClass64  = 2
+	ElfData2LSB = 1
+	ETExec      = 2
+	ETDyn       = 3
+	EMX8664     = 0x3e
+
+	PTLoad = 1
+
+	PFX = 1
+	PFW = 2
+	PFR = 4
+
+	SHTNull     = 0
+	SHTProgbits = 1
+	SHTStrtab   = 3
+	SHTNobits   = 8
+
+	SHFWrite     = 0x1
+	SHFAlloc     = 0x2
+	SHFExecinstr = 0x4
+)
+
+const (
+	ehSize = 64
+	phSize = 56
+	shSize = 64
+)
+
+// Section is a named region of the binary.
+type Section struct {
+	Name  string
+	Type  uint32
+	Flags uint64
+	Addr  uint64
+	Off   uint64
+	Size  uint64
+	Data  []byte // nil for SHT_NOBITS
+}
+
+// Executable reports whether the section contains code.
+func (s *Section) Executable() bool {
+	return s.Flags&SHFExecinstr != 0 && s.Flags&SHFAlloc != 0
+}
+
+// Segment is one program header.
+type Segment struct {
+	Type   uint32
+	Flags  uint32
+	Off    uint64
+	Vaddr  uint64
+	Filesz uint64
+	Memsz  uint64
+	Data   []byte
+}
+
+// File is a parsed ELF64 image.
+type File struct {
+	Type     uint16
+	Machine  uint16
+	Entry    uint64
+	Sections []Section
+	Segments []Segment
+}
+
+// Errors returned by Parse.
+var (
+	ErrNotELF      = errors.New("elfx: not an ELF file")
+	ErrUnsupported = errors.New("elfx: unsupported ELF variant")
+)
+
+var le = binary.LittleEndian
+
+// Parse reads an ELF64 little-endian x86-64 image from b.
+func Parse(b []byte) (*File, error) {
+	if len(b) < ehSize {
+		return nil, ErrNotELF
+	}
+	if b[0] != 0x7f || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
+		return nil, ErrNotELF
+	}
+	if b[4] != ElfClass64 || b[5] != ElfData2LSB {
+		return nil, fmt.Errorf("%w: class=%d data=%d", ErrUnsupported, b[4], b[5])
+	}
+	f := &File{
+		Type:    le.Uint16(b[16:]),
+		Machine: le.Uint16(b[18:]),
+		Entry:   le.Uint64(b[24:]),
+	}
+	if f.Machine != EMX8664 {
+		return nil, fmt.Errorf("%w: machine=%#x", ErrUnsupported, f.Machine)
+	}
+	phoff := le.Uint64(b[32:])
+	shoff := le.Uint64(b[40:])
+	phentsize := le.Uint16(b[54:])
+	phnum := le.Uint16(b[56:])
+	shentsize := le.Uint16(b[58:])
+	shnum := le.Uint16(b[60:])
+	shstrndx := le.Uint16(b[62:])
+
+	for i := 0; i < int(phnum); i++ {
+		off := phoff + uint64(i)*uint64(phentsize)
+		if off+phSize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfx: program header %d out of range", i)
+		}
+		p := b[off:]
+		seg := Segment{
+			Type:   le.Uint32(p),
+			Flags:  le.Uint32(p[4:]),
+			Off:    le.Uint64(p[8:]),
+			Vaddr:  le.Uint64(p[16:]),
+			Filesz: le.Uint64(p[32:]),
+			Memsz:  le.Uint64(p[40:]),
+		}
+		if seg.Off+seg.Filesz > uint64(len(b)) {
+			return nil, fmt.Errorf("elfx: segment %d data out of range", i)
+		}
+		seg.Data = b[seg.Off : seg.Off+seg.Filesz]
+		f.Segments = append(f.Segments, seg)
+	}
+
+	if shnum == 0 || shoff == 0 {
+		return f, nil
+	}
+	// Section name string table.
+	var shstr []byte
+	strOff := shoff + uint64(shstrndx)*uint64(shentsize)
+	if int(shstrndx) < int(shnum) && strOff+shSize <= uint64(len(b)) {
+		s := b[strOff:]
+		o, sz := le.Uint64(s[24:]), le.Uint64(s[32:])
+		if o+sz <= uint64(len(b)) {
+			shstr = b[o : o+sz]
+		}
+	}
+	name := func(idx uint32) string {
+		if int(idx) >= len(shstr) {
+			return ""
+		}
+		end := idx
+		for int(end) < len(shstr) && shstr[end] != 0 {
+			end++
+		}
+		return string(shstr[idx:end])
+	}
+	for i := 0; i < int(shnum); i++ {
+		off := shoff + uint64(i)*uint64(shentsize)
+		if off+shSize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfx: section header %d out of range", i)
+		}
+		s := b[off:]
+		sec := Section{
+			Name:  name(le.Uint32(s)),
+			Type:  le.Uint32(s[4:]),
+			Flags: le.Uint64(s[8:]),
+			Addr:  le.Uint64(s[16:]),
+			Off:   le.Uint64(s[24:]),
+			Size:  le.Uint64(s[32:]),
+		}
+		if sec.Type != SHTNobits && sec.Type != SHTNull {
+			if sec.Off+sec.Size > uint64(len(b)) {
+				return nil, fmt.Errorf("elfx: section %q data out of range", sec.Name)
+			}
+			sec.Data = b[sec.Off : sec.Off+sec.Size]
+		}
+		f.Sections = append(f.Sections, sec)
+	}
+	return f, nil
+}
+
+// ExecutableSections returns the allocatable, executable sections. If the
+// file has no section table (fully stripped), executable LOAD segments are
+// returned as pseudo-sections instead.
+func (f *File) ExecutableSections() []Section {
+	var out []Section
+	for i := range f.Sections {
+		if f.Sections[i].Executable() {
+			out = append(out, f.Sections[i])
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for _, seg := range f.Segments {
+		if seg.Type == PTLoad && seg.Flags&PFX != 0 {
+			out = append(out, Section{
+				Name:  ".load.x",
+				Type:  SHTProgbits,
+				Flags: SHFAlloc | SHFExecinstr,
+				Addr:  seg.Vaddr,
+				Off:   seg.Off,
+				Size:  seg.Filesz,
+				Data:  seg.Data,
+			})
+		}
+	}
+	return out
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}

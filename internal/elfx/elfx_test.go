@@ -1,0 +1,187 @@
+package elfx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	var b Builder
+	b.Entry = 0x401000
+	text := bytes.Repeat([]byte{0x90}, 64)
+	text[63] = 0xc3
+	rodata := []byte("hello, elf\x00")
+	data := bytes.Repeat([]byte{0xaa}, 16)
+	b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, text)
+	b.AddSection(".rodata", 0x402000, SHFAlloc, rodata)
+	b.AddSection(".data", 0x403000, SHFAlloc|SHFWrite, data)
+	img, err := b.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	img := buildSample(t)
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry != 0x401000 {
+		t.Errorf("entry = %#x", f.Entry)
+	}
+	if f.Type != ETExec || f.Machine != EMX8664 {
+		t.Errorf("type=%d machine=%#x", f.Type, f.Machine)
+	}
+	text := f.Section(".text")
+	if text == nil {
+		t.Fatal("no .text")
+	}
+	if text.Addr != 0x401000 || text.Size != 64 || !text.Executable() {
+		t.Errorf(".text = %+v", text)
+	}
+	if text.Data[63] != 0xc3 {
+		t.Errorf(".text data corrupted: % x", text.Data[60:])
+	}
+	ro := f.Section(".rodata")
+	if ro == nil || string(ro.Data) != "hello, elf\x00" {
+		t.Fatalf(".rodata = %+v", ro)
+	}
+	if ro.Executable() {
+		t.Error(".rodata should not be executable")
+	}
+	ex := f.ExecutableSections()
+	if len(ex) != 1 || ex[0].Name != ".text" {
+		t.Errorf("executable sections = %v", ex)
+	}
+}
+
+func TestSegmentMapping(t *testing.T) {
+	img := buildSample(t)
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (RX, R, RW)", len(f.Segments))
+	}
+	for _, seg := range f.Segments {
+		if seg.Type != PTLoad {
+			t.Errorf("segment type %d", seg.Type)
+		}
+		if seg.Off%pageSize != seg.Vaddr%pageSize {
+			t.Errorf("segment misaligned: off=%#x vaddr=%#x", seg.Off, seg.Vaddr)
+		}
+	}
+	if f.Segments[0].Flags != PFR|PFX {
+		t.Errorf("first segment flags = %d", f.Segments[0].Flags)
+	}
+}
+
+func TestGroupedSegmentLayout(t *testing.T) {
+	// Two executable sections with a gap must land in one segment whose
+	// file image preserves the address delta.
+	var b Builder
+	b.Entry = 0x401000
+	b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, []byte{0xc3})
+	b.AddSection(".text.hot", 0x401010, SHFAlloc|SHFExecinstr, []byte{0xcc, 0xc3})
+	img, err := b.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(f.Segments))
+	}
+	seg := f.Segments[0]
+	// Byte at vaddr 0x401010 must be 0xcc.
+	idx := 0x401010 - seg.Vaddr
+	if seg.Data[idx] != 0xcc {
+		t.Errorf("byte at 0x401010 = %#x, want 0xcc", seg.Data[idx])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not an elf"),
+		bytes.Repeat([]byte{0}, 128),
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%d bytes) succeeded", len(c))
+		}
+	}
+	// 32-bit magic.
+	img := buildSample(t)
+	img32 := append([]byte(nil), img...)
+	img32[4] = 1
+	if _, err := Parse(img32); err == nil {
+		t.Error("Parse accepted 32-bit class")
+	}
+}
+
+// TestParseTruncationFuzz feeds truncated/corrupted images: Parse must not
+// panic and must not return sections pointing outside the buffer.
+func TestParseTruncationFuzz(t *testing.T) {
+	img := buildSample(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(len(img) + 1)
+		cp := append([]byte(nil), img[:n]...)
+		if len(cp) > 0 && rng.Intn(2) == 0 {
+			cp[rng.Intn(len(cp))] ^= byte(1 << rng.Intn(8))
+		}
+		f, err := Parse(cp)
+		if err != nil {
+			continue
+		}
+		for _, s := range f.Sections {
+			if s.Data != nil && int(s.Size) != len(s.Data) {
+				t.Fatalf("section %q: size %d data %d", s.Name, s.Size, len(s.Data))
+			}
+		}
+	}
+}
+
+func TestNoSectionsFallsBackToSegments(t *testing.T) {
+	img := buildSample(t)
+	// Zero out the section header info in the ELF header.
+	for i := 40; i < 48; i++ {
+		img[i] = 0 // shoff
+	}
+	img[60], img[61] = 0, 0 // shnum
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := f.ExecutableSections()
+	if len(ex) != 1 || ex[0].Addr != 0x401000 {
+		t.Fatalf("fallback sections = %+v", ex)
+	}
+	if ex[0].Data[63] != 0xc3 {
+		t.Error("fallback section data wrong")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	var b Builder
+	b.AddSection("a", 0x1000, SHFAlloc|SHFExecinstr, make([]byte, 32))
+	b.AddSection("b", 0x1010, SHFAlloc|SHFExecinstr, make([]byte, 32))
+	if _, err := b.Write(); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	var b Builder
+	if _, err := b.Write(); err == nil {
+		t.Fatal("expected error for empty builder")
+	}
+}

@@ -1,0 +1,39 @@
+package elfx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: Parse must never panic or return sections referencing memory
+// outside the input buffer. Run with `go test -fuzz=FuzzParse ./internal/elfx`.
+func FuzzParse(f *testing.F) {
+	var b Builder
+	b.Entry = 0x401000
+	b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, bytes.Repeat([]byte{0x90}, 32))
+	b.AddSection(".data", 0x402000, SHFAlloc|SHFWrite, []byte{1, 2, 3, 4})
+	img, err := b.Write()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte("\x7fELF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return
+		}
+		for _, s := range file.Sections {
+			if s.Data != nil && uint64(len(s.Data)) != s.Size {
+				t.Fatalf("section %q: data/size mismatch", s.Name)
+			}
+		}
+		for _, seg := range file.Segments {
+			if uint64(len(seg.Data)) != seg.Filesz {
+				t.Fatalf("segment data/filesz mismatch")
+			}
+		}
+		file.ExecutableSections() // must not panic
+	})
+}

@@ -1,0 +1,170 @@
+package elfx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a static, stripped ELF64 executable from sections. Each
+// allocatable section becomes part of a LOAD segment grouped by permission
+// (R-X and RW-). The emitted file carries a section header table (with
+// generic names) but no symbols — matching a stripped binary.
+type Builder struct {
+	Entry    uint64
+	sections []Section
+}
+
+// AddSection appends a section. Addr must be page-consistent with Off
+// assignment done at Write time; callers just pick increasing, non-
+// overlapping addresses.
+func (b *Builder) AddSection(name string, addr uint64, flags uint64, data []byte) {
+	b.sections = append(b.sections, Section{
+		Name:  name,
+		Type:  SHTProgbits,
+		Flags: flags,
+		Addr:  addr,
+		Size:  uint64(len(data)),
+		Data:  data,
+	})
+}
+
+const pageSize = 0x1000
+
+// Write lays out and serialises the image.
+func (b *Builder) Write() ([]byte, error) {
+	if len(b.sections) == 0 {
+		return nil, fmt.Errorf("elfx: no sections")
+	}
+	secs := make([]Section, len(b.sections))
+	copy(secs, b.sections)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	for i := 1; i < len(secs); i++ {
+		if secs[i].Addr < secs[i-1].Addr+secs[i-1].Size {
+			return nil, fmt.Errorf("elfx: sections %q and %q overlap",
+				secs[i-1].Name, secs[i].Name)
+		}
+	}
+
+	// Group contiguous same-permission sections into segments.
+	type segPlan struct {
+		flags       uint32
+		first, last int
+	}
+	permOf := func(s *Section) uint32 {
+		p := uint32(PFR)
+		if s.Flags&SHFWrite != 0 {
+			p |= PFW
+		}
+		if s.Flags&SHFExecinstr != 0 {
+			p |= PFX
+		}
+		return p
+	}
+	var plans []segPlan
+	for i := range secs {
+		p := permOf(&secs[i])
+		if n := len(plans); n > 0 && plans[n-1].flags == p {
+			plans[n-1].last = i
+			continue
+		}
+		plans = append(plans, segPlan{flags: p, first: i, last: i})
+	}
+
+	// File layout: header, program headers, section data (offset congruent
+	// to vaddr modulo page size), section names, section headers.
+	phnum := len(plans)
+	out := make([]byte, ehSize+phnum*phSize)
+
+	// Lay out section data. The first section of each segment is placed at
+	// a file offset congruent to its vaddr modulo the page size; subsequent
+	// sections of the same segment are zero-padded so that file-offset
+	// deltas equal vaddr deltas (required for a single contiguous mapping).
+	offs := make([]uint64, len(secs))
+	for _, pl := range plans {
+		off := uint64(len(out))
+		first := &secs[pl.first]
+		want := first.Addr % pageSize
+		if off%pageSize != want {
+			pad := (want - off%pageSize + pageSize) % pageSize
+			out = append(out, make([]byte, pad)...)
+			off += pad
+		}
+		offs[pl.first] = off
+		out = append(out, first.Data...)
+		for i := pl.first + 1; i <= pl.last; i++ {
+			gap := secs[i].Addr - (secs[i-1].Addr + secs[i-1].Size)
+			out = append(out, make([]byte, gap)...)
+			offs[i] = offs[i-1] + secs[i-1].Size + gap
+			out = append(out, secs[i].Data...)
+		}
+	}
+
+	// Section name string table.
+	shstr := []byte{0}
+	nameOff := make([]uint32, len(secs))
+	for i := range secs {
+		nameOff[i] = uint32(len(shstr))
+		shstr = append(shstr, secs[i].Name...)
+		shstr = append(shstr, 0)
+	}
+	strName := uint32(len(shstr))
+	shstr = append(shstr, ".shstrtab"...)
+	shstr = append(shstr, 0)
+	strOff := uint64(len(out))
+	out = append(out, shstr...)
+
+	// Section headers: null + sections + shstrtab.
+	shoff := uint64(len(out))
+	shnum := len(secs) + 2
+	sh := make([]byte, shnum*shSize)
+	writeSh := func(idx int, name uint32, typ uint32, flags, addr, off, size uint64, align uint64) {
+		p := sh[idx*shSize:]
+		le.PutUint32(p, name)
+		le.PutUint32(p[4:], typ)
+		le.PutUint64(p[8:], flags)
+		le.PutUint64(p[16:], addr)
+		le.PutUint64(p[24:], off)
+		le.PutUint64(p[32:], size)
+		le.PutUint64(p[48:], align)
+	}
+	for i := range secs {
+		writeSh(i+1, nameOff[i], SHTProgbits, secs[i].Flags, secs[i].Addr,
+			offs[i], secs[i].Size, 16)
+	}
+	writeSh(shnum-1, strName, SHTStrtab, 0, 0, strOff, uint64(len(shstr)), 1)
+	out = append(out, sh...)
+
+	// ELF header.
+	h := out[:ehSize]
+	copy(h, []byte{0x7f, 'E', 'L', 'F', ElfClass64, ElfData2LSB, 1, 0})
+	le.PutUint16(h[16:], ETExec)
+	le.PutUint16(h[18:], EMX8664)
+	le.PutUint32(h[20:], 1)
+	le.PutUint64(h[24:], b.Entry)
+	le.PutUint64(h[32:], ehSize) // phoff
+	le.PutUint64(h[40:], shoff)
+	le.PutUint16(h[52:], ehSize)
+	le.PutUint16(h[54:], phSize)
+	le.PutUint16(h[56:], uint16(phnum))
+	le.PutUint16(h[58:], shSize)
+	le.PutUint16(h[60:], uint16(shnum))
+	le.PutUint16(h[62:], uint16(shnum-1))
+
+	// Program headers.
+	for pi, pl := range plans {
+		p := out[ehSize+pi*phSize:]
+		start, end := pl.first, pl.last
+		fileOff := offs[start]
+		vaddr := secs[start].Addr
+		size := secs[end].Addr + secs[end].Size - vaddr
+		le.PutUint32(p, PTLoad)
+		le.PutUint32(p[4:], pl.flags)
+		le.PutUint64(p[8:], fileOff)
+		le.PutUint64(p[16:], vaddr)
+		le.PutUint64(p[24:], vaddr) // paddr
+		le.PutUint64(p[32:], size)
+		le.PutUint64(p[40:], size)
+		le.PutUint64(p[48:], pageSize)
+	}
+	return out, nil
+}

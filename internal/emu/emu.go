@@ -1,0 +1,287 @@
+// Package emu is a user-mode emulator for the x86-64 subset the synthetic
+// generator emits (integer ALU with real flag semantics, control flow,
+// stack, scalar SSE, jump-table dispatch). Its purpose is validation: a
+// rewritten/instrumented binary must behave exactly like the original, and
+// the emulator is the referee (see package rewrite).
+//
+// The memory model is deliberately small: the text image is readable (jump
+// tables and literal pools live there), a synthetic stack region is
+// read-write, and extra read-write regions (e.g. instrumentation counter
+// sections) can be mapped. Anything else faults.
+package emu
+
+import (
+	"fmt"
+
+	"probedis/internal/x86"
+)
+
+// StopKind says how execution ended.
+type StopKind uint8
+
+// Stop kinds.
+const (
+	StopExit StopKind = iota // syscall exit (rax = 60)
+	StopRet                  // ret with empty call stack
+	StopFuel                 // fuel exhausted (likely an intended loop)
+	StopTrap                 // ud2/int3/hlt or an emulation fault
+)
+
+var stopNames = [...]string{"exit", "ret", "fuel", "trap"}
+
+func (k StopKind) String() string { return stopNames[k] }
+
+// Outcome summarises one run.
+type Outcome struct {
+	Stop  StopKind
+	Steps int
+	Regs  [16]uint64 // final GPRs
+	// Trap describes the fault for StopTrap.
+	Trap string
+	// TrapAddr is the faulting instruction's address for StopTrap.
+	TrapAddr uint64
+}
+
+// Region is an extra mapped read-write memory range.
+type Region struct {
+	Base uint64
+	Data []byte
+}
+
+// Machine emulates one text image.
+type Machine struct {
+	code []byte
+	base uint64
+
+	regs    [16]uint64
+	xmm     [16]float64
+	zf, sf  bool
+	cf, of  bool
+	pf      bool
+	stack   []byte
+	regions []Region
+
+	callDepth int
+
+	// OnStep, when set, observes every executed instruction's address
+	// (before execution). Used by validation to compare executions
+	// independent of code layout.
+	OnStep func(pc uint64)
+}
+
+const (
+	stackBase = 0x7fff_0000
+	stackSize = 1 << 16
+)
+
+// New returns a machine for the given text image.
+func New(code []byte, base uint64) *Machine {
+	return &Machine{code: code, base: base, stack: make([]byte, stackSize)}
+}
+
+// Map adds a read-write region (instrumentation counters etc.).
+func (m *Machine) Map(r Region) { m.regions = append(m.regions, r) }
+
+type fault struct{ msg string }
+
+func (f fault) Error() string { return f.msg }
+
+func faultf(format string, args ...any) error {
+	return fault{fmt.Sprintf(format, args...)}
+}
+
+// mem resolves a range to a backing slice.
+func (m *Machine) mem(addr uint64, n int) ([]byte, error) {
+	switch {
+	case addr >= m.base && addr+uint64(n) <= m.base+uint64(len(m.code)):
+		off := addr - m.base
+		return m.code[off : off+uint64(n)], nil
+	case addr >= stackBase && addr+uint64(n) <= stackBase+uint64(len(m.stack)):
+		off := addr - stackBase
+		return m.stack[off : off+uint64(n)], nil
+	}
+	for _, r := range m.regions {
+		if addr >= r.Base && addr+uint64(n) <= r.Base+uint64(len(r.Data)) {
+			off := addr - r.Base
+			return r.Data[off : off+uint64(n)], nil
+		}
+	}
+	if addr >= stackBase-stackSize && addr < stackBase {
+		// Below the stack region: runaway recursion (generated call
+		// graphs can be cyclic). A distinct, stable trap so validation
+		// can treat it as a deterministic resource stop.
+		return nil, faultf("stack overflow")
+	}
+	return nil, faultf("wild access %d bytes at %#x", n, addr)
+}
+
+func (m *Machine) load(addr uint64, n int) (uint64, error) {
+	b, err := m.mem(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+func (m *Machine) store(addr uint64, n int, v uint64) error {
+	b, err := m.mem(addr, n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// reg returns a GPR value truncated to the operand size.
+func (m *Machine) reg(r x86.Reg, bits uint8) uint64 {
+	return trunc(m.regs[r-x86.RAX], bits)
+}
+
+// setReg writes a GPR with x86 widening semantics (32-bit writes zero the
+// top half; 8/16-bit writes merge).
+func (m *Machine) setReg(r x86.Reg, bits uint8, v uint64) {
+	i := r - x86.RAX
+	switch bits {
+	case 64:
+		m.regs[i] = v
+	case 32:
+		m.regs[i] = v & 0xffffffff
+	case 16:
+		m.regs[i] = m.regs[i]&^uint64(0xffff) | v&0xffff
+	case 8:
+		m.regs[i] = m.regs[i]&^uint64(0xff) | v&0xff
+	}
+}
+
+func trunc(v uint64, bits uint8) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & (1<<bits - 1)
+}
+
+func signBit(v uint64, bits uint8) bool { return v>>(bits-1)&1 != 0 }
+
+// setSZP sets the result flags common to ALU operations.
+func (m *Machine) setSZP(v uint64, bits uint8) {
+	v = trunc(v, bits)
+	m.zf = v == 0
+	m.sf = signBit(v, bits)
+	p := byte(v)
+	p ^= p >> 4
+	p ^= p >> 2
+	p ^= p >> 1
+	m.pf = p&1 == 0
+}
+
+// evalCond evaluates a condition code against the flags.
+func (m *Machine) evalCond(c x86.Cond) bool {
+	switch c {
+	case 0:
+		return m.of
+	case 1:
+		return !m.of
+	case 2:
+		return m.cf
+	case 3:
+		return !m.cf
+	case 4:
+		return m.zf
+	case 5:
+		return !m.zf
+	case 6:
+		return m.cf || m.zf
+	case 7:
+		return !m.cf && !m.zf
+	case 8:
+		return m.sf
+	case 9:
+		return !m.sf
+	case 10:
+		return m.pf
+	case 11:
+		return !m.pf
+	case 12:
+		return m.sf != m.of
+	case 13:
+		return m.sf == m.of
+	case 14:
+		return m.zf || m.sf != m.of
+	case 15:
+		return !m.zf && m.sf == m.of
+	}
+	return false
+}
+
+// ea computes the effective address of inst's memory operand.
+func (m *Machine) ea(inst *x86.Inst) uint64 {
+	mem := inst.Mem
+	var a uint64
+	switch {
+	case mem.Base == x86.RIP:
+		a = inst.Addr + uint64(inst.Len)
+	case mem.Base != x86.RegNone:
+		a = m.regs[mem.Base-x86.RAX]
+	}
+	if mem.Index != x86.RegNone {
+		a += m.regs[mem.Index-x86.RAX] * uint64(mem.Scale)
+	}
+	return a + uint64(mem.Disp)
+}
+
+func (m *Machine) push(v uint64) error {
+	m.regs[x86.RSP-x86.RAX] -= 8
+	return m.store(m.regs[x86.RSP-x86.RAX], 8, v)
+}
+
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.load(m.regs[x86.RSP-x86.RAX], 8)
+	if err != nil {
+		return 0, err
+	}
+	m.regs[x86.RSP-x86.RAX] += 8
+	return v, nil
+}
+
+// Run executes from entry until an exit condition or the fuel runs out.
+func (m *Machine) Run(entry uint64, fuel int) Outcome {
+	m.regs = [16]uint64{}
+	m.xmm = [16]float64{}
+	m.regs[x86.RSP-x86.RAX] = stackBase + stackSize - 64
+	m.callDepth = 0
+
+	pc := entry
+	for step := 0; step < fuel; step++ {
+		off := pc - m.base
+		if off >= uint64(len(m.code)) {
+			return Outcome{Stop: StopTrap, Steps: step, Regs: m.regs,
+				Trap: "pc outside text", TrapAddr: pc}
+		}
+		inst, err := x86.Decode(m.code[off:], pc)
+		if err != nil {
+			return Outcome{Stop: StopTrap, Steps: step, Regs: m.regs,
+				Trap: "undecodable instruction", TrapAddr: pc}
+		}
+		if m.OnStep != nil {
+			m.OnStep(pc)
+		}
+		next, stop, err := m.exec(&inst)
+		if err != nil {
+			return Outcome{Stop: StopTrap, Steps: step, Regs: m.regs,
+				Trap: err.Error(), TrapAddr: pc}
+		}
+		if stop != nil {
+			stop.Steps = step + 1
+			stop.Regs = m.regs
+			return *stop
+		}
+		pc = next
+	}
+	return Outcome{Stop: StopFuel, Steps: fuel, Regs: m.regs}
+}

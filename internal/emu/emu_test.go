@@ -1,0 +1,303 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+
+	"probedis/internal/synth"
+	"probedis/internal/x86"
+	"probedis/internal/x86/xasm"
+)
+
+func assemble(t *testing.T, build func(a *xasm.Asm)) ([]byte, uint64) {
+	t.Helper()
+	a := xasm.New(0x1000)
+	build(a)
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, 0x1000
+}
+
+func run(t *testing.T, build func(a *xasm.Asm)) Outcome {
+	t.Helper()
+	code, base := assemble(t, build)
+	m := New(code, base)
+	out := m.Run(base, 100000)
+	if out.Stop == StopTrap {
+		t.Fatalf("trap: %s at %#x", out.Trap, out.TrapAddr)
+	}
+	return out
+}
+
+func rax(o Outcome) uint64 { return o.Regs[0] }
+
+func TestArithmetic(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RAX, 7)
+		a.MovRegImm32(x86.RBX, 6)
+		a.ImulRegReg(true, x86.RAX, x86.RBX) // 42
+		a.AluImm(true, xasm.AluAdd, x86.RAX, 100)
+		a.AluImm(true, xasm.AluSub, x86.RAX, 2) // 140
+		a.ShiftImm(true, 4, x86.RAX, 1)         // shl -> 280
+		a.Ret()
+	})
+	if out.Stop != StopRet || rax(out) != 280 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestFlagsAndBranches(t *testing.T) {
+	// if (5 < 7) rax = 1 else rax = 2
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RCX, 5)
+		a.CmpRegImm(true, x86.RCX, 7)
+		a.Jcc(xasm.L, "less")
+		a.MovRegImm32(x86.RAX, 2)
+		a.Ret()
+		a.Label("less")
+		a.MovRegImm32(x86.RAX, 1)
+		a.Ret()
+	})
+	if rax(out) != 1 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum 1..10 = 55
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RAX, 0)
+		a.MovRegImm32(x86.RCX, 10)
+		a.Label("loop")
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RCX)
+		a.DecReg(true, x86.RCX)
+		a.TestRegReg(true, x86.RCX, x86.RCX)
+		a.Jcc(xasm.NE, "loop")
+		a.Ret()
+	})
+	if rax(out) != 55 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestCallStackAndFrame(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RDI, 20)
+		a.CallLabel("double")
+		a.AluImm(true, xasm.AluAdd, x86.RAX, 2)
+		a.Ret()
+		a.Label("double")
+		a.Push(x86.RBP)
+		a.MovRegReg(true, x86.RBP, x86.RSP)
+		a.AluImm(true, xasm.AluSub, x86.RSP, 16)
+		a.MovMemReg(true, xasm.Mem{Base: x86.RBP, Disp: -8}, x86.RDI)
+		a.MovRegMem(true, x86.RAX, xasm.Mem{Base: x86.RBP, Disp: -8})
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RDI)
+		a.Leave()
+		a.Ret()
+	})
+	if rax(out) != 42 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestDivision(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RAX, 100)
+		a.MovRegImm32(x86.RBX, 7)
+		a.Cqo()
+		a.IdivReg(true, x86.RBX)
+		// rax = 14, rdx = 2; return rax*10 + rdx = 142
+		a.ImulRegRegImm(true, x86.RAX, x86.RAX, 10)
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RDX)
+		a.Ret()
+	})
+	if rax(out) != 142 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	code, base := assemble(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RAX, 1)
+		a.MovRegImm32(x86.RBX, 0)
+		a.Cqo()
+		a.IdivReg(true, x86.RBX)
+		a.Ret()
+	})
+	out := New(code, base).Run(base, 1000)
+	if out.Stop != StopTrap {
+		t.Fatalf("expected trap, got %+v", out)
+	}
+}
+
+func TestJumpTableDispatch(t *testing.T) {
+	for want, sel := range []uint32{100, 200, 300} {
+		out := run(t, func(a *xasm.Asm) {
+			a.MovRegImm32(x86.RDI, uint32(want))
+			a.CmpRegImm(true, x86.RDI, 2)
+			a.Jcc(xasm.A, "default")
+			a.JmpMemIdx(x86.RDI, "table")
+			a.Label("table")
+			for i := 0; i < 3; i++ {
+				a.Quad(fmt.Sprintf("case%d", i))
+			}
+			for i, v := range []uint32{100, 200, 300} {
+				a.Label(fmt.Sprintf("case%d", i))
+				a.MovRegImm32(x86.RAX, v)
+				a.Ret()
+			}
+			a.Label("default")
+			a.MovRegImm32(x86.RAX, 0xdead)
+			a.Ret()
+		})
+		if rax(out) != uint64(sel) {
+			t.Fatalf("case %d: rax = %#x, want %d", want, rax(out), sel)
+		}
+	}
+}
+
+func TestPICJumpTable(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RDI, 1)
+		a.LeaLabel(x86.RBX, "table")
+		a.MovsxdRegMem(x86.RAX, xasm.Mem{Base: x86.RBX, Index: x86.RDI, Scale: 4})
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RBX)
+		a.JmpReg(x86.RAX)
+		a.Label("table")
+		a.LongDiff("case0", "table")
+		a.LongDiff("case1", "table")
+		a.Label("case0")
+		a.MovRegImm32(x86.RAX, 11)
+		a.Ret()
+		a.Label("case1")
+		a.MovRegImm32(x86.RAX, 22)
+		a.Ret()
+	})
+	if rax(out) != 22 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestSSE(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RDI, 5)
+		a.Pxor(0, 0)
+		a.Cvtsi2sd(0, x86.RDI)   // xmm0 = 5.0
+		a.MovsdLoadLabel(1, "k") // xmm1 = 2.5
+		a.Mulsd(0, 1)            // 12.5
+		a.Addsd(0, 0)            // 25.0
+		// Store to stack, reload as integer bits.
+		a.MovsdStore(xasm.Mem{Base: x86.RSP, Disp: -16}, 0)
+		a.MovRegMem(true, x86.RAX, xasm.Mem{Base: x86.RSP, Disp: -16})
+		a.Ret()
+		for a.Len()%8 != 0 {
+			a.Raw(0)
+		}
+		a.Label("k")
+		a.U64(0x4004000000000000) // 2.5
+	})
+	if rax(out) != 0x4039000000000000 { // 25.0
+		t.Fatalf("rax = %#x", rax(out))
+	}
+}
+
+func TestMovzxMovsxd(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RBX, 0xfffffF80) // low byte 0x80
+		a.MovzxBReg(x86.RAX, x86.RBX)      // 0x80
+		a.MovsxdRegReg(x86.RCX, x86.RBX)   // sign-extended negative
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RCX)
+		a.Ret()
+	})
+	a := uint64(0x80)
+	b := uint64(0xffffffffffffff80)
+	want := a + b // wraps to 0
+	if rax(out) != want {
+		t.Fatalf("rax = %#x, want %#x", rax(out), want)
+	}
+}
+
+func TestSetccCmov(t *testing.T) {
+	out := run(t, func(a *xasm.Asm) {
+		a.MovRegImm32(x86.RBX, 9)
+		a.CmpRegImm(true, x86.RBX, 10)
+		a.Setcc(xasm.B, x86.RAX) // rax.b = 1 (9 < 10 unsigned)
+		a.MovRegImm32(x86.RCX, 77)
+		a.CmpRegImm(true, x86.RBX, 10)
+		a.Cmov(xasm.B, x86.RDX, x86.RCX) // rdx = 77
+		a.Alu(true, xasm.AluAdd, x86.RAX, x86.RDX)
+		a.Ret()
+	})
+	if rax(out) != 78 {
+		t.Fatalf("rax = %d", rax(out))
+	}
+}
+
+func TestWildAccessFaults(t *testing.T) {
+	code, base := assemble(t, func(a *xasm.Asm) {
+		a.MovAbs(x86.RBX, 0xdeadbeef0000)
+		a.MovRegMem(true, x86.RAX, xasm.Mem{Base: x86.RBX})
+		a.Ret()
+	})
+	out := New(code, base).Run(base, 100)
+	if out.Stop != StopTrap {
+		t.Fatalf("expected wild-access trap, got %+v", out)
+	}
+}
+
+func TestMappedRegion(t *testing.T) {
+	counter := make([]byte, 8)
+	code, base := assemble(t, func(a *xasm.Asm) {
+		a.MovAbs(x86.RBX, 0x900000)
+		a.MovRegMem(true, x86.RAX, xasm.Mem{Base: x86.RBX})
+		a.AluImm(true, xasm.AluAdd, x86.RAX, 1)
+		a.MovMemReg(true, xasm.Mem{Base: x86.RBX}, x86.RAX)
+		a.Ret()
+	})
+	m := New(code, base)
+	m.Map(Region{Base: 0x900000, Data: counter})
+	out := m.Run(base, 100)
+	if out.Stop != StopRet {
+		t.Fatalf("out = %+v", out)
+	}
+	if counter[0] != 1 {
+		t.Fatalf("counter = %v", counter)
+	}
+}
+
+// TestGeneratedBinariesExecute: the emulator must run generated corpora
+// without hitting unsupported instructions. Runs may end in ret, exit,
+// fuel (loops) or arithmetic traps (random div) — but never decode or
+// unsupported-op faults.
+func TestGeneratedBinariesExecute(t *testing.T) {
+	ok := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, p := range synth.DefaultProfiles {
+			b, err := synth.Generate(synth.Config{Seed: seed, Profile: p, NumFuncs: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(b.Code, b.Base)
+			out := m.Run(b.Entry, 200000)
+			switch out.Stop {
+			case StopRet, StopExit, StopFuel:
+				ok++
+			case StopTrap:
+				switch out.Trap {
+				case "divide by zero", "divide overflow", "idiv with non-sign-extended rdx":
+					ok++ // random arithmetic hazard: acceptable
+				case "stack overflow", "call depth exceeded":
+					ok++ // runaway recursion in a random call graph
+				default:
+					t.Errorf("%s: trap %q at %#x", b.Name, out.Trap, out.TrapAddr)
+				}
+			}
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no generated binary executed")
+	}
+}

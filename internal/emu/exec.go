@@ -1,0 +1,552 @@
+package emu
+
+import (
+	"math"
+
+	"probedis/internal/x86"
+)
+
+// exec executes one instruction. It returns the next pc, a non-nil Outcome
+// when execution ends, or an error fault.
+func (m *Machine) exec(inst *x86.Inst) (uint64, *Outcome, error) {
+	bits := inst.OpSize
+	nbytes := int(bits / 8)
+	seq := inst.Addr + uint64(inst.Len)
+
+	// Generic destination/source access via the decoded operand summary.
+	readDst := func() (uint64, error) {
+		if inst.MemIsDst && inst.HasMem {
+			return m.load(m.ea(inst), nbytes)
+		}
+		if inst.DstReg == x86.RegNone {
+			return 0, faultf("no destination operand for %v", inst.Op)
+		}
+		return m.reg(inst.DstReg, bits), nil
+	}
+	writeDst := func(v uint64) error {
+		if inst.MemIsDst && inst.HasMem {
+			return m.store(m.ea(inst), nbytes, trunc(v, bits))
+		}
+		if inst.DstReg == x86.RegNone {
+			return faultf("no destination operand for %v", inst.Op)
+		}
+		m.setReg(inst.DstReg, bits, trunc(v, bits))
+		return nil
+	}
+	readSrc := func() (uint64, error) {
+		switch {
+		case !inst.MemIsDst && inst.HasMem:
+			return m.load(m.ea(inst), nbytes)
+		case inst.SrcReg != x86.RegNone:
+			return m.reg(inst.SrcReg, bits), nil
+		case inst.HasImm:
+			return trunc(uint64(inst.Imm), bits), nil
+		}
+		return 0, faultf("no source operand for %v", inst.Op)
+	}
+
+	switch inst.Op {
+	case x86.NOP, x86.FNOP, x86.PREFETCH, x86.PAUSE, x86.FWAIT:
+		return seq, nil, nil
+
+	case x86.MOV, x86.MOVABS:
+		v, err := readSrc()
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, writeDst(v)
+
+	case x86.LEA:
+		m.setReg(inst.DstReg, bits, trunc(m.ea(inst), bits))
+		return seq, nil, nil
+
+	case x86.MOVZX:
+		v, err := m.vload(inst, srcBits(inst))
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, writeDst(v)
+
+	case x86.MOVSX, x86.MOVSXD:
+		sb := srcBits(inst)
+		v, err := m.vload(inst, sb)
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, writeDst(signExtend(v, sb))
+
+	case x86.ADD, x86.ADC:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		b, err := readSrc()
+		if err != nil {
+			return 0, nil, err
+		}
+		if inst.Op == x86.ADC && m.cf {
+			b++
+		}
+		r := trunc(a+b, bits)
+		m.cf = r < trunc(a, bits) || (inst.Op == x86.ADC && b == 0 && m.cf)
+		m.of = signBit((a^r)&(b^r), bits)
+		m.setSZP(r, bits)
+		return seq, nil, writeDst(r)
+
+	case x86.SUB, x86.SBB, x86.CMP:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		b, err := readSrc()
+		if err != nil {
+			return 0, nil, err
+		}
+		if inst.Op == x86.SBB && m.cf {
+			b++
+		}
+		r := trunc(a-b, bits)
+		m.cf = trunc(a, bits) < trunc(b, bits)
+		m.of = signBit((a^b)&(a^r), bits)
+		m.setSZP(r, bits)
+		if inst.Op == x86.CMP {
+			return seq, nil, nil
+		}
+		return seq, nil, writeDst(r)
+
+	case x86.AND, x86.OR, x86.XOR, x86.TEST:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		b, err := readSrc()
+		if err != nil {
+			return 0, nil, err
+		}
+		var r uint64
+		switch inst.Op {
+		case x86.AND, x86.TEST:
+			r = a & b
+		case x86.OR:
+			r = a | b
+		case x86.XOR:
+			r = a ^ b
+		}
+		r = trunc(r, bits)
+		m.cf, m.of = false, false
+		m.setSZP(r, bits)
+		if inst.Op == x86.TEST {
+			return seq, nil, nil
+		}
+		return seq, nil, writeDst(r)
+
+	case x86.INC, x86.DEC:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		var r uint64
+		if inst.Op == x86.INC {
+			r = trunc(a+1, bits)
+			m.of = trunc(a, bits) == 1<<(bits-1)-1
+		} else {
+			r = trunc(a-1, bits)
+			m.of = trunc(a, bits) == 1<<(bits-1)
+		}
+		m.setSZP(r, bits) // CF untouched by inc/dec
+		return seq, nil, writeDst(r)
+
+	case x86.NEG:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		r := trunc(-a, bits)
+		m.cf = trunc(a, bits) != 0
+		m.of = trunc(a, bits) == 1<<(bits-1)
+		m.setSZP(r, bits)
+		return seq, nil, writeDst(r)
+
+	case x86.NOT:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, writeDst(trunc(^a, bits))
+
+	case x86.SHL, x86.SHR, x86.SAR:
+		a, err := readDst()
+		if err != nil {
+			return 0, nil, err
+		}
+		var count uint64
+		if inst.HasImm {
+			count = uint64(inst.Imm)
+		} else if inst.SrcReg == x86.RCX || inst.Reads&x86.RCX.Bit() != 0 {
+			count = m.regs[x86.RCX-x86.RAX]
+		} else {
+			count = 1
+		}
+		mask := uint64(31)
+		if bits == 64 {
+			mask = 63
+		}
+		count &= mask
+		if count == 0 {
+			return seq, nil, nil
+		}
+		var r uint64
+		switch inst.Op {
+		case x86.SHL:
+			r = trunc(a<<count, bits)
+			m.cf = a>>(uint64(bits)-count)&1 != 0
+		case x86.SHR:
+			r = trunc(a, bits) >> count
+			m.cf = a>>(count-1)&1 != 0
+		case x86.SAR:
+			s := signExtend(trunc(a, bits), bits)
+			m.cf = s>>(count-1)&1 != 0
+			r = trunc(uint64(int64(s)>>count), bits)
+		}
+		m.of = false
+		m.setSZP(r, bits)
+		return seq, nil, writeDst(r)
+
+	case x86.IMUL:
+		// Two/three-operand forms only (the one-operand form is aMRead
+		// with implicit rax:rdx and is not emitted by the generator).
+		if inst.DstReg == x86.RegNone {
+			return 0, nil, faultf("one-operand imul unsupported")
+		}
+		var a int64
+		if inst.HasImm {
+			// imul r, r/m, imm
+			v, err := readSrc0(m, inst, nbytes)
+			if err != nil {
+				return 0, nil, err
+			}
+			a = int64(signExtend(v, bits)) * inst.Imm
+		} else {
+			d := int64(signExtend(m.reg(inst.DstReg, bits), bits))
+			v, err := readSrc()
+			if err != nil {
+				return 0, nil, err
+			}
+			a = d * int64(signExtend(v, bits))
+		}
+		r := trunc(uint64(a), bits)
+		m.cf = int64(signExtend(r, bits)) != a
+		m.of = m.cf
+		m.setSZP(r, bits)
+		m.setReg(inst.DstReg, bits, r)
+		return seq, nil, nil
+
+	case x86.CWD: // cdq/cqo: sign-extend rax into rdx
+		s := signExtend(m.reg(x86.RAX, bits), bits)
+		m.setReg(x86.RDX, bits, trunc(uint64(int64(s)>>63), bits))
+		return seq, nil, nil
+
+	case x86.CBW: // cbw/cwde/cdqe
+		half := bits / 2
+		v := signExtend(m.reg(x86.RAX, half), half)
+		m.setReg(x86.RAX, bits, trunc(v, bits))
+		return seq, nil, nil
+
+	case x86.IDIV:
+		d, err := readDst() // divisor is the rm operand (DstReg slot)
+		if err != nil {
+			return 0, nil, err
+		}
+		div := int64(signExtend(d, bits))
+		if div == 0 {
+			return 0, nil, faultf("divide by zero")
+		}
+		lo := m.reg(x86.RAX, bits)
+		hi := m.reg(x86.RDX, bits)
+		num := int64(signExtend(lo, bits))
+		// Require rdx to be the sign extension of rax (the generator's
+		// cqo guarantees it); anything else would need 128-bit division.
+		if wantHi := trunc(uint64(num>>63), bits); hi != wantHi {
+			return 0, nil, faultf("idiv with non-sign-extended rdx")
+		}
+		if num == math.MinInt64 && div == -1 {
+			return 0, nil, faultf("divide overflow")
+		}
+		m.setReg(x86.RAX, bits, trunc(uint64(num/div), bits))
+		m.setReg(x86.RDX, bits, trunc(uint64(num%div), bits))
+		return seq, nil, nil
+
+	case x86.SETCC:
+		v := uint64(0)
+		if m.evalCond(inst.Cond) {
+			v = 1
+		}
+		return seq, nil, writeDst(v)
+
+	case x86.CMOVCC:
+		if m.evalCond(inst.Cond) {
+			v, err := readSrc()
+			if err != nil {
+				return 0, nil, err
+			}
+			return seq, nil, writeDst(v)
+		}
+		if bits == 32 {
+			// 32-bit cmov zeroes the upper half even when false.
+			m.setReg(inst.DstReg, 32, m.reg(inst.DstReg, 32))
+		}
+		return seq, nil, nil
+
+	case x86.XCHG:
+		if inst.HasMem || inst.DstReg == x86.RegNone || inst.SrcReg == x86.RegNone {
+			return 0, nil, faultf("unsupported xchg form")
+		}
+		a, b := m.reg(inst.DstReg, bits), m.reg(inst.SrcReg, bits)
+		m.setReg(inst.DstReg, bits, b)
+		m.setReg(inst.SrcReg, bits, a)
+		return seq, nil, nil
+
+	case x86.PUSH:
+		var v uint64
+		var err error
+		switch {
+		case inst.HasImm:
+			v = uint64(inst.Imm)
+		case inst.HasMem:
+			v, err = m.load(m.ea(inst), 8)
+		default:
+			v = m.regs[inst.DstReg-x86.RAX]
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, m.push(v)
+
+	case x86.POP:
+		v, err := m.pop()
+		if err != nil {
+			return 0, nil, err
+		}
+		if inst.HasMem {
+			return seq, nil, m.store(m.ea(inst), 8, v)
+		}
+		m.regs[inst.DstReg-x86.RAX] = v
+		return seq, nil, nil
+
+	case x86.LEAVE:
+		m.regs[x86.RSP-x86.RAX] = m.regs[x86.RBP-x86.RAX]
+		v, err := m.pop()
+		if err != nil {
+			return 0, nil, err
+		}
+		m.regs[x86.RBP-x86.RAX] = v
+		return seq, nil, nil
+
+	case x86.CALL:
+		target, err := m.branchTarget(inst)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := m.push(seq); err != nil {
+			return 0, nil, err
+		}
+		m.callDepth++
+		if m.callDepth > 512 {
+			return 0, nil, faultf("call depth exceeded")
+		}
+		return target, nil, nil
+
+	case x86.RET:
+		if m.callDepth == 0 {
+			return 0, &Outcome{Stop: StopRet}, nil
+		}
+		v, err := m.pop()
+		if err != nil {
+			return 0, nil, err
+		}
+		if inst.HasImm {
+			m.regs[x86.RSP-x86.RAX] += uint64(inst.Imm)
+		}
+		m.callDepth--
+		return v, nil, nil
+
+	case x86.JMP:
+		t, err := m.branchTarget(inst)
+		return t, nil, err
+
+	case x86.JCC:
+		if m.evalCond(inst.Cond) {
+			return inst.Target, nil, nil
+		}
+		return seq, nil, nil
+
+	case x86.JRCXZ:
+		if m.regs[x86.RCX-x86.RAX] == 0 {
+			return inst.Target, nil, nil
+		}
+		return seq, nil, nil
+
+	case x86.LOOP, x86.LOOPE, x86.LOOPNE:
+		m.regs[x86.RCX-x86.RAX]--
+		taken := m.regs[x86.RCX-x86.RAX] != 0
+		switch inst.Op {
+		case x86.LOOPE:
+			taken = taken && m.zf
+		case x86.LOOPNE:
+			taken = taken && !m.zf
+		}
+		if taken {
+			return inst.Target, nil, nil
+		}
+		return seq, nil, nil
+
+	case x86.SYSCALL:
+		if m.regs[0] == 60 { // exit
+			return 0, &Outcome{Stop: StopExit}, nil
+		}
+		return 0, nil, faultf("unsupported syscall %d", m.regs[0])
+
+	case x86.INT3, x86.UD2, x86.HLT, x86.INT1:
+		return 0, &Outcome{Stop: StopTrap, Trap: inst.Op.String(), TrapAddr: inst.Addr}, nil
+
+	// --- scalar SSE ------------------------------------------------------
+	case x86.MOVUPS: // movsd/movss family: 0F 10 load, 0F 11 store
+		switch inst.Opcode & 0xff {
+		case 0x10:
+			if inst.HasMem {
+				v, err := m.load(m.ea(inst), 8)
+				if err != nil {
+					return 0, nil, err
+				}
+				m.xmm[inst.VecReg] = math.Float64frombits(v)
+			} else {
+				m.xmm[inst.VecReg] = m.xmm[inst.VecRM]
+			}
+		case 0x11:
+			if inst.HasMem {
+				if err := m.store(m.ea(inst), 8, math.Float64bits(m.xmm[inst.VecReg])); err != nil {
+					return 0, nil, err
+				}
+			} else {
+				m.xmm[inst.VecRM] = m.xmm[inst.VecReg]
+			}
+		default:
+			return 0, nil, faultf("unsupported move %#x", inst.Opcode)
+		}
+		return seq, nil, nil
+
+	case x86.SSEAR:
+		src, err := m.xmmSrc(inst)
+		if err != nil {
+			return 0, nil, err
+		}
+		d := inst.VecReg
+		switch inst.Opcode & 0xff {
+		case 0x58:
+			m.xmm[d] += src
+		case 0x59:
+			m.xmm[d] *= src
+		case 0x5c:
+			m.xmm[d] -= src
+		case 0x5e:
+			m.xmm[d] /= src
+		default:
+			return 0, nil, faultf("unsupported SSE arith %#x", inst.Opcode)
+		}
+		return seq, nil, nil
+
+	case x86.CVT:
+		if inst.Opcode&0xff != 0x2a {
+			return 0, nil, faultf("unsupported conversion %#x", inst.Opcode)
+		}
+		var v int64
+		if inst.HasMem {
+			u, err := m.load(m.ea(inst), nbytes)
+			if err != nil {
+				return 0, nil, err
+			}
+			v = int64(signExtend(u, bits))
+		} else {
+			v = int64(signExtend(m.regs[inst.VecRM], bits))
+		}
+		m.xmm[inst.VecReg] = float64(v)
+		return seq, nil, nil
+
+	case x86.PARITH:
+		if inst.Opcode&0xff == 0xef { // pxor
+			a := math.Float64bits(m.xmm[inst.VecReg])
+			src, err := m.xmmSrc(inst)
+			if err != nil {
+				return 0, nil, err
+			}
+			m.xmm[inst.VecReg] = math.Float64frombits(a ^ math.Float64bits(src))
+			return seq, nil, nil
+		}
+		return 0, nil, faultf("unsupported packed op %#x", inst.Opcode)
+	}
+	return 0, nil, faultf("unsupported op %v", inst.Op)
+}
+
+// branchTarget resolves direct, register and memory branch targets.
+func (m *Machine) branchTarget(inst *x86.Inst) (uint64, error) {
+	switch inst.Flow {
+	case x86.FlowJump, x86.FlowCall, x86.FlowCondJump:
+		return inst.Target, nil
+	case x86.FlowIndirectJump, x86.FlowIndirectCall:
+		if inst.HasMem {
+			return m.load(m.ea(inst), 8)
+		}
+		return m.regs[inst.DstReg-x86.RAX], nil
+	}
+	return 0, faultf("not a branch: %v", inst.Op)
+}
+
+// xmmSrc reads the source of an xmm-xmm/xmm-mem operation.
+func (m *Machine) xmmSrc(inst *x86.Inst) (float64, error) {
+	if inst.HasMem {
+		v, err := m.load(m.ea(inst), 8)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(v), nil
+	}
+	return m.xmm[inst.VecRM], nil
+}
+
+// srcBits returns the source width of a widening move.
+func srcBits(inst *x86.Inst) uint8 {
+	switch inst.Opcode {
+	case 0x0fb6, 0x0fbe:
+		return 8
+	case 0x0fb7, 0x0fbf:
+		return 16
+	default: // movsxd
+		return 32
+	}
+}
+
+// vload reads the rm operand of a widening move at the source width.
+func (m *Machine) vload(inst *x86.Inst, sb uint8) (uint64, error) {
+	if inst.HasMem {
+		return m.load(m.ea(inst), int(sb/8))
+	}
+	return m.reg(inst.SrcReg, sb), nil
+}
+
+// readSrc0 reads the rm operand for three-operand imul, where DstReg is
+// the destination and the rm is the multiplicand.
+func readSrc0(m *Machine, inst *x86.Inst, nbytes int) (uint64, error) {
+	if inst.HasMem {
+		return m.load(m.ea(inst), nbytes)
+	}
+	return m.reg(inst.SrcReg, inst.OpSize), nil
+}
+
+// signExtend widens v from the given bit width to 64 bits.
+func signExtend(v uint64, bits uint8) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	shift := 64 - bits
+	return uint64(int64(v<<shift) >> shift)
+}

@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"fmt"
+
+	"probedis/internal/synth"
+)
+
+// CorpusSpec parameterises an evaluation corpus. Seeds start at FirstSeed
+// and increment; they must stay disjoint from the training corpus (which
+// uses seeds >= 1,000,000 — see core.TrainModel).
+type CorpusSpec struct {
+	FirstSeed   int64
+	PerProfile  int
+	Funcs       int
+	Profiles    []synth.Profile
+	DataDensity float64 // 0 means 1.0 (profile defaults)
+}
+
+// DefaultCorpus is the corpus used by the headline experiments (T1-T5).
+func DefaultCorpus() CorpusSpec {
+	return CorpusSpec{
+		FirstSeed:  1,
+		PerProfile: 5,
+		Funcs:      60,
+		Profiles:   synth.DefaultProfiles,
+	}
+}
+
+// Build generates the corpus.
+func (s CorpusSpec) Build() ([]*synth.Binary, error) {
+	seed := s.FirstSeed
+	var out []*synth.Binary
+	for _, p := range s.Profiles {
+		if s.DataDensity > 0 {
+			p = p.ScaleData(s.DataDensity)
+		}
+		for i := 0; i < s.PerProfile; i++ {
+			b, err := synth.Generate(synth.Config{Seed: seed, Profile: p, NumFuncs: s.Funcs})
+			if err != nil {
+				return nil, fmt.Errorf("eval: corpus seed %d: %w", seed, err)
+			}
+			out = append(out, b)
+			seed++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+// Package listing renders a disassembly result as an annotated text
+// listing: instructions with addresses and bytes, data regions as .byte /
+// .ascii / .quad directives, and function-start markers.
+package listing
+
+import (
+	"fmt"
+	"io"
+
+	"probedis/internal/dis"
+	"probedis/internal/x86"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxDataBytesPerLine groups data bytes (default 8).
+	MaxDataBytesPerLine int
+	// ShowBytes prints the raw encoding next to each instruction.
+	ShowBytes bool
+}
+
+// Write renders the classified section to w.
+func Write(w io.Writer, code []byte, res *dis.Result, opts Options) error {
+	if opts.MaxDataBytesPerLine <= 0 {
+		opts.MaxDataBytesPerLine = 8
+	}
+	funcs := map[int]int{}
+	for i, f := range res.FuncStarts {
+		funcs[f] = i
+	}
+	pos := 0
+	for pos < len(code) {
+		if fi, ok := funcs[pos]; ok {
+			if _, err := fmt.Fprintf(w, "\n%#x <func_%d>:\n", res.Base+uint64(pos), fi); err != nil {
+				return err
+			}
+		}
+		if res.InstStart[pos] {
+			inst, err := x86.Decode(code[pos:], res.Base+uint64(pos))
+			if err != nil {
+				// A result that marks an undecodable instruction start is
+				// inconsistent; render the byte as data and continue.
+				if err := dataLine(w, res.Base, code, pos, pos+1); err != nil {
+					return err
+				}
+				pos++
+				continue
+			}
+			if opts.ShowBytes {
+				_, err = fmt.Fprintf(w, "  %#08x: %-24x %s\n",
+					inst.Addr, code[pos:pos+inst.Len], inst.String())
+			} else {
+				_, err = fmt.Fprintf(w, "  %#08x: %s\n", inst.Addr, inst.String())
+			}
+			if err != nil {
+				return err
+			}
+			pos += inst.Len
+			continue
+		}
+		if res.IsCode[pos] {
+			// Interior byte of an already-printed instruction.
+			pos++
+			continue
+		}
+		// Data run until the next instruction start or code byte.
+		end := pos
+		for end < len(code) && !res.IsCode[end] && !res.InstStart[end] {
+			end++
+		}
+		for a := pos; a < end; {
+			b := a + opts.MaxDataBytesPerLine
+			if b > end {
+				b = end
+			}
+			// Prefer .ascii for printable runs.
+			if s, n := asciiRun(code[a:end]); n >= 4 {
+				if _, err := fmt.Fprintf(w, "  %#08x: .ascii %q\n", res.Base+uint64(a), s); err != nil {
+					return err
+				}
+				a += n
+				continue
+			}
+			if err := dataLine(w, res.Base, code, a, b); err != nil {
+				return err
+			}
+			a = b
+		}
+		pos = end
+	}
+	return nil
+}
+
+func dataLine(w io.Writer, base uint64, code []byte, from, to int) error {
+	_, err := fmt.Fprintf(w, "  %#08x: .byte % x\n", base+uint64(from), code[from:to])
+	return err
+}
+
+// asciiRun returns the leading printable run (plus one NUL) and its
+// total length in bytes.
+func asciiRun(b []byte) (string, int) {
+	n := 0
+	for n < len(b) && b[n] >= 0x20 && b[n] < 0x7f {
+		n++
+	}
+	s := string(b[:n])
+	if n < len(b) && b[n] == 0 {
+		n++
+	}
+	return s, n
+}

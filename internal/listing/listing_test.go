@@ -1,0 +1,79 @@
+package listing
+
+import (
+	"strings"
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/dis"
+	"probedis/internal/synth"
+)
+
+func TestWriteSimple(t *testing.T) {
+	// push rbp; mov rbp,rsp; ret; then the string "hi!\0"; then 4 data bytes.
+	code := []byte{0x55, 0x48, 0x89, 0xe5, 0xc3, 'h', 'i', '!', '?', 0, 0xde, 0xad, 0xbe, 0xef}
+	res := dis.NewResult(0x1000, len(code))
+	for i := 0; i < 5; i++ {
+		res.IsCode[i] = true
+	}
+	res.InstStart[0] = true
+	res.InstStart[1] = true
+	res.InstStart[4] = true
+	res.FuncStarts = []int{0}
+
+	var sb strings.Builder
+	if err := Write(&sb, code, res, Options{ShowBytes: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<func_0>", "push", "mov", "ret", `.ascii "hi!?"`, ".byte de ad be ef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFullBinary(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 90, Profile: synth.ProfileComplex, NumFuncs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.New(core.DefaultModel())
+	res := d.Disassemble(b.Code, b.Base, int(b.Entry-b.Base))
+	var sb strings.Builder
+	if err := Write(&sb, b.Code, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\n") < 1000 {
+		t.Errorf("listing suspiciously short: %d lines", strings.Count(out, "\n"))
+	}
+	if !strings.Contains(out, "<func_") {
+		t.Error("no function markers")
+	}
+	// Every line must carry an address or be a function marker/blank.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "0x") {
+			continue
+		}
+		if !strings.HasPrefix(line, "  0x") {
+			t.Fatalf("malformed listing line: %q", line)
+		}
+	}
+}
+
+func TestInconsistentResult(t *testing.T) {
+	// InstStart on an invalid byte: must degrade to .byte, not error.
+	code := []byte{0x06, 0xc3}
+	res := dis.NewResult(0, len(code))
+	res.InstStart[0] = true
+	var sb strings.Builder
+	if err := Write(&sb, code, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ".byte 06") {
+		t.Errorf("bad instruction not rendered as data:\n%s", sb.String())
+	}
+}

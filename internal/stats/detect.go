@@ -1,0 +1,141 @@
+package stats
+
+import "encoding/binary"
+
+// Run is a detected data-like byte range [From, To).
+type Run struct {
+	From, To int
+}
+
+// Len returns the run length.
+func (r Run) Len() int { return r.To - r.From }
+
+func printable(b byte) bool {
+	return b >= 0x20 && b < 0x7f || b == '\t' || b == '\n' || b == '\r'
+}
+
+// PrintableRuns finds NUL-terminated printable-ASCII runs of at least
+// minLen characters — the signature of inline string islands. The returned
+// range includes the terminating NUL(s).
+func PrintableRuns(code []byte, minLen int) []Run {
+	var out []Run
+	i := 0
+	for i < len(code) {
+		if !printable(code[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(code) && printable(code[j]) {
+			j++
+		}
+		if j-i >= minLen && j < len(code) && code[j] == 0 {
+			end := j
+			for end < len(code) && code[end] == 0 {
+				end++
+			}
+			out = append(out, Run{i, end})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// FillRuns finds runs of an identical fill byte (0x00 or 0xCC) of at least
+// minLen bytes — linker and MSVC-style padding.
+func FillRuns(code []byte, minLen int) []Run {
+	var out []Run
+	i := 0
+	for i < len(code) {
+		b := code[i]
+		if b != 0x00 && b != 0xcc {
+			i++
+			continue
+		}
+		j := i
+		for j < len(code) && code[j] == b {
+			j++
+		}
+		if j-i >= minLen {
+			out = append(out, Run{i, j})
+		}
+		i = j
+	}
+	return out
+}
+
+// PointerArrays finds runs of at least minEntries consecutive 8-byte
+// little-endian values that all point inside [base, base+len(code)) — the
+// signature of absolute jump tables and vtables embedded in text. Runs are
+// reported greedily at every alignment; overlapping runs are merged.
+func PointerArrays(code []byte, base uint64, minEntries int) []Run {
+	limit := base + uint64(len(code))
+	var out []Run
+	i := 0
+	for i+8 <= len(code) {
+		v := binary.LittleEndian.Uint64(code[i:])
+		if v < base || v >= limit {
+			i++
+			continue
+		}
+		j := i
+		n := 0
+		for j+8 <= len(code) {
+			v := binary.LittleEndian.Uint64(code[j:])
+			if v < base || v >= limit {
+				break
+			}
+			n++
+			j += 8
+		}
+		if n >= minEntries {
+			if k := len(out); k > 0 && out[k-1].To >= i {
+				if j > out[k-1].To {
+					out[k-1].To = j
+				}
+			} else {
+				out = append(out, Run{i, j})
+			}
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// OffsetTables finds runs of at least minEntries consecutive 4-byte values
+// that, interpreted as signed offsets relative to the run start, all land
+// inside the section — the signature of PIC jump tables.
+func OffsetTables(code []byte, minEntries int) []Run {
+	var out []Run
+	n := len(code)
+	for i := 0; i+4 <= n; {
+		j := i
+		cnt := 0
+		for j+4 <= n {
+			v := int64(int32(binary.LittleEndian.Uint32(code[j:])))
+			t := int64(i) + v
+			// Offsets must be non-trivial and land in-section; an offset
+			// of 0 (table pointing at itself) is implausible.
+			if t < 0 || t >= int64(n) || v == 0 {
+				break
+			}
+			cnt++
+			j += 4
+		}
+		if cnt >= minEntries {
+			if k := len(out); k > 0 && out[k-1].To >= i {
+				if j > out[k-1].To {
+					out[k-1].To = j
+				}
+			} else {
+				out = append(out, Run{i, j})
+			}
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format: a finalized model's log-probability tables stored
+// as float32 (the precision the scorer effectively uses), little-endian:
+//
+//	magic "PDMD" | version u32 | per ngram: uniLogP [numTok]f32,
+//	bi [numTok*numTok]f32  (code model first, then data model)
+//
+// Only finalized models serialise; the raw counts are not kept.
+const (
+	modelMagic   = "PDMD"
+	modelVersion = 1
+)
+
+// WriteTo serialises a finalized model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	if !m.Ready() {
+		return 0, fmt.Errorf("stats: cannot serialise an unfinalized model")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	write := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	if err := write([]byte(modelMagic)); err != nil {
+		return n, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], modelVersion)
+	if err := write(v[:]); err != nil {
+		return n, err
+	}
+	for _, g := range []*ngram{m.code, m.data} {
+		buf := make([]byte, 4*numTok)
+		for i, f := range g.uniLogP {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(f)))
+		}
+		if err := write(buf); err != nil {
+			return n, err
+		}
+		row := make([]byte, 4*numTok)
+		for a := 0; a < numTok; a++ {
+			for b := 0; b < numTok; b++ {
+				binary.LittleEndian.PutUint32(row[4*b:],
+					math.Float32bits(float32(g.bi[a*numTok+b])))
+			}
+			if err := write(row); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserialises a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("stats: reading model header: %w", err)
+	}
+	if string(head[:4]) != modelMagic {
+		return nil, fmt.Errorf("stats: bad model magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != modelVersion {
+		return nil, fmt.Errorf("stats: unsupported model version %d", v)
+	}
+	m := NewModel()
+	for _, g := range []*ngram{m.code, m.data} {
+		buf := make([]byte, 4*numTok)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("stats: reading unigram table: %w", err)
+		}
+		for i := range g.uniLogP {
+			g.uniLogP[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+		row := make([]byte, 4*numTok)
+		for a := 0; a < numTok; a++ {
+			if _, err := io.ReadFull(br, row); err != nil {
+				return nil, fmt.Errorf("stats: reading bigram row %d: %w", a, err)
+			}
+			for b := 0; b < numTok; b++ {
+				g.bi[a*numTok+b] = float64(math.Float32frombits(binary.LittleEndian.Uint32(row[4*b:])))
+			}
+		}
+		g.final = true
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"probedis/internal/superset"
+	"probedis/internal/synth"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := trainModel(t)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	m2, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Ready() {
+		t.Fatal("deserialised model not ready")
+	}
+
+	// Scores must agree to float32 precision on a held-out binary.
+	b, err := synth.Generate(synth.Config{Seed: 96, Profile: synth.ProfileO2, NumFuncs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := superset.Build(b.Code, b.Base)
+	s1 := m.ScoreAll(g, 8)
+	s2 := m2.ScoreAll(g, 8)
+	for i := range s1 {
+		if s1[i] <= -1e8 {
+			if s2[i] > -1e8 {
+				t.Fatalf("offset %d: invalid marker lost", i)
+			}
+			continue
+		}
+		if math.Abs(s1[i]-s2[i]) > 1e-3*(1+math.Abs(s1[i])) {
+			t.Fatalf("offset %d: score %v != %v", i, s1[i], s2[i])
+		}
+	}
+	// Classification sign must be identical (what the pipeline consumes).
+	for i := range s1 {
+		if (s1[i] > 0) != (s2[i] > 0) && math.Abs(s1[i]) > 1e-3 {
+			t.Fatalf("offset %d: classification flipped (%v vs %v)", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestWriteUnfinalized(t *testing.T) {
+	m := NewModel()
+	if _, err := m.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error serialising unfinalized model")
+	}
+}
+
+func TestReadModelErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"XXXX\x01\x00",         // bad magic
+		"PDMD\xff\x00\x00\x00", // bad version
+		"PDMD\x01\x00\x00\x00", // truncated tables
+	}
+	for _, c := range cases {
+		if _, err := ReadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadModel(%q...) succeeded", c[:min(len(c), 4)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

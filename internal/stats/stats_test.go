@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probedis/internal/superset"
+	"probedis/internal/synth"
+	"probedis/internal/x86"
+)
+
+// trainModel fits a model on a small corpus (seeds disjoint from eval).
+func trainModel(t testing.TB) *Model {
+	t.Helper()
+	m := NewModel()
+	for seed, p := range map[int64]synth.Profile{
+		1001: synth.ProfileO0, 1002: synth.ProfileO2, 1003: synth.ProfileComplex,
+	} {
+		b, err := synth.Generate(synth.Config{Seed: seed, Profile: p, NumFuncs: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := superset.Build(b.Code, b.Base)
+		m.AddCode(g, b.Truth.InstStart)
+		isData := make([]bool, len(b.Code))
+		for i, c := range b.Truth.Classes {
+			isData[i] = c.IsData()
+		}
+		m.AddData(g, isData)
+	}
+	rng := rand.New(rand.NewSource(99))
+	soup := make([]byte, 1<<14)
+	rng.Read(soup)
+	m.AddRandomData(soup, 0x500000)
+	m.Finalize()
+	return m
+}
+
+// TestModelDiscriminates: on a held-out binary, true instruction starts
+// must score higher on average than data offsets, with a usable margin.
+func TestModelDiscriminates(t *testing.T) {
+	m := trainModel(t)
+	b, err := synth.Generate(synth.Config{Seed: 42, Profile: synth.ProfileComplex, NumFuncs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := superset.Build(b.Code, b.Base)
+	scores := m.ScoreAll(g, 8)
+
+	var codeSum, dataSum float64
+	var codeN, dataN int
+	var codePos, dataPos int // how many score > 0
+	for off := range scores {
+		if scores[off] <= -1e8 {
+			continue
+		}
+		switch {
+		case b.Truth.InstStart[off]:
+			codeSum += scores[off]
+			codeN++
+			if scores[off] > 0 {
+				codePos++
+			}
+		case b.Truth.Classes[off].IsData():
+			dataSum += scores[off]
+			dataN++
+			if scores[off] > 0 {
+				dataPos++
+			}
+		}
+	}
+	if codeN == 0 || dataN == 0 {
+		t.Fatalf("degenerate corpus: codeN=%d dataN=%d", codeN, dataN)
+	}
+	codeMean, dataMean := codeSum/float64(codeN), dataSum/float64(dataN)
+	t.Logf("code mean=%.3f (%d/%d positive), data mean=%.3f (%d/%d positive)",
+		codeMean, codePos, codeN, dataMean, dataPos, dataN)
+	if codeMean <= dataMean+0.5 {
+		t.Errorf("model does not discriminate: code %.3f vs data %.3f", codeMean, dataMean)
+	}
+	if float64(codePos)/float64(codeN) < 0.80 {
+		t.Errorf("only %d/%d true instructions score positive", codePos, codeN)
+	}
+	if float64(dataPos)/float64(dataN) > 0.50 {
+		t.Errorf("%d/%d data offsets score positive", dataPos, dataN)
+	}
+}
+
+func TestLogOddsInvalidStart(t *testing.T) {
+	m := trainModel(t)
+	g := superset.Build([]byte{0x06, 0x90}, 0) // invalid first byte
+	s, steps := m.LogOdds(g, 0, 8)
+	if steps != 0 || s > -1e8 {
+		t.Errorf("invalid start: score=%v steps=%d", s, steps)
+	}
+}
+
+func TestTokenSpace(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		lo    int
+	}{
+		{[]byte{0x90}, 0},                              // one-byte map
+		{[]byte{0x0f, 0x05}, 256},                      // 0F map
+		{[]byte{0x66, 0x0f, 0x38, 0x40, 0xc1}, 512},    // 38 map
+		{[]byte{0x66, 0x0f, 0x3a, 0x22, 0xc0, 1}, 768}, // 3A map
+	}
+	for _, c := range cases {
+		inst, err := x86.Decode(c.bytes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok := Token(&inst)
+		if tok < c.lo || tok >= c.lo+256 {
+			t.Errorf("Token(% x) = %d, want in [%d,%d)", c.bytes, tok, c.lo, c.lo+256)
+		}
+	}
+}
+
+func TestPrintableRuns(t *testing.T) {
+	code := append([]byte{0x90, 0x90}, []byte("hello world")...)
+	code = append(code, 0, 0)
+	code = append(code, 0xc3)
+	runs := PrintableRuns(code, 6)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %v", runs)
+	}
+	if runs[0].From != 2 || runs[0].To != 2+11+2 {
+		t.Errorf("run = %+v", runs[0])
+	}
+	// Short strings are not flagged.
+	if runs := PrintableRuns([]byte("hi\x00"), 6); len(runs) != 0 {
+		t.Errorf("short string flagged: %v", runs)
+	}
+	// Printable run without NUL terminator is not flagged.
+	if runs := PrintableRuns([]byte("just text no nul"), 6); len(runs) != 0 {
+		t.Errorf("unterminated run flagged: %v", runs)
+	}
+}
+
+func TestFillRuns(t *testing.T) {
+	code := []byte{0xc3}
+	code = append(code, make([]byte, 12)...)
+	code = append(code, 0xc3)
+	for i := 0; i < 9; i++ {
+		code = append(code, 0xcc)
+	}
+	runs := FillRuns(code, 8)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v", runs)
+	}
+	if runs[0].Len() != 12 || runs[1].Len() != 9 {
+		t.Errorf("runs = %v", runs)
+	}
+	if runs := FillRuns(make([]byte, 7), 8); len(runs) != 0 {
+		t.Errorf("short fill flagged: %v", runs)
+	}
+}
+
+func TestPointerArrays(t *testing.T) {
+	base := uint64(0x400000)
+	code := make([]byte, 64)
+	// Three in-range pointers at offset 8.
+	for i := 0; i < 3; i++ {
+		binary.LittleEndian.PutUint64(code[8+8*i:], base+uint64(16*i))
+	}
+	runs := PointerArrays(code, base, 3)
+	if len(runs) != 1 || runs[0].From > 8 || runs[0].To < 32 {
+		t.Fatalf("runs = %v", runs)
+	}
+	// Out-of-range values are not pointers. (All-zero bytes point below base.)
+	if runs := PointerArrays(make([]byte, 64), base, 2); len(runs) != 0 {
+		t.Errorf("zeros flagged as pointers: %v", runs)
+	}
+}
+
+func TestOffsetTables(t *testing.T) {
+	code := make([]byte, 64)
+	// Offsets 16, 20, 24 relative to the table at offset 0.
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint32(code[4*i:], uint32(16+4*i))
+	}
+	runs := OffsetTables(code, 4)
+	if len(runs) == 0 || runs[0].From != 0 {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func BenchmarkScoreAll(b *testing.B) {
+	m := trainModel(b)
+	bin, err := synth.Generate(synth.Config{Seed: 50, Profile: synth.ProfileO2, NumFuncs: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := superset.Build(bin.Code, bin.Base)
+	b.SetBytes(int64(len(bin.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreAll(g, 8)
+	}
+}
+
+// TestScoreAllParallelMatchesSerial forces the parallel scoring path and
+// requires identical output with the serial path.
+func TestScoreAllParallelMatchesSerial(t *testing.T) {
+	m := trainModel(t)
+	b, err := synth.Generate(synth.Config{Seed: 55, Profile: synth.ProfileComplex, NumFuncs: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Code) < 1<<14 {
+		t.Fatalf("binary too small to exercise the parallel path: %d", len(b.Code))
+	}
+	g := superset.Build(b.Code, b.Base)
+
+	prev := runtime.GOMAXPROCS(4)
+	par := m.ScoreAll(g, 8)
+	runtime.GOMAXPROCS(1)
+	ser := m.ScoreAll(g, 8)
+	runtime.GOMAXPROCS(prev)
+
+	for i := range par {
+		if par[i] != ser[i] {
+			t.Fatalf("score differs at +%#x: %v vs %v", i, par[i], ser[i])
+		}
+	}
+}

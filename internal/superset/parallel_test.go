@@ -1,0 +1,33 @@
+package superset
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestParallelMatchesSerial forces the parallel decode path (large input +
+// multiple procs) and requires byte-identical results with the serial
+// path.
+func TestParallelMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(77))
+	code := make([]byte, 1<<15) // above the parallel threshold
+	rng.Read(code)
+
+	par := Build(code, 0x400000)
+
+	runtime.GOMAXPROCS(1)
+	ser := Build(code, 0x400000)
+
+	for off := range code {
+		if par.Valid[off] != ser.Valid[off] {
+			t.Fatalf("validity differs at +%#x", off)
+		}
+		if par.Valid[off] && par.Insts[off] != ser.Insts[off] {
+			t.Fatalf("decode differs at +%#x", off)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package superset implements superset (exhaustive) disassembly: decoding a
+// candidate instruction at every byte offset of a text section. The
+// resulting graph — each offset's decode result plus its forced successor
+// edges — is the substrate every downstream analysis and the error
+// corrector operate on.
+package superset
+
+import (
+	"runtime"
+	"sync"
+
+	"probedis/internal/x86"
+)
+
+// Range is a half-open virtual address range [Start, End).
+type Range struct {
+	Start, End uint64
+}
+
+// Contains reports whether addr falls in the range.
+func (r Range) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
+
+// Graph is the superset disassembly of one text section.
+type Graph struct {
+	Base uint64
+	Code []byte
+
+	// Insts[i] is the decode result at offset i; check Valid[i] first.
+	Insts []x86.Inst
+	// Valid[i] reports whether offset i decodes to a valid instruction
+	// that fits within the section.
+	Valid []bool
+
+	// extern lists other executable ranges of the binary: direct branches
+	// landing there are legitimate (cross-section tail calls, PLT stubs)
+	// rather than evidence of a misdecode.
+	extern []Range
+}
+
+// SetExtern registers additional executable ranges (see Graph.extern).
+func (g *Graph) SetExtern(ranges []Range) { g.extern = ranges }
+
+// ExternTarget reports whether addr lies in a registered external
+// executable range.
+func (g *Graph) ExternTarget(addr uint64) bool {
+	for _, r := range g.extern {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Build decodes an instruction at every offset of code. Decoding at each
+// offset is independent, so large sections are decoded in parallel; the
+// result is deterministic.
+func Build(code []byte, base uint64) *Graph {
+	g := &Graph{
+		Base:  base,
+		Code:  code,
+		Insts: make([]x86.Inst, len(code)),
+		Valid: make([]bool, len(code)),
+	}
+	decodeRange := func(from, to int) {
+		for off := from; off < to; off++ {
+			inst, err := x86.Decode(code[off:], base+uint64(off))
+			if err != nil {
+				continue
+			}
+			g.Insts[off] = inst
+			g.Valid[off] = true
+		}
+	}
+	const parallelThreshold = 1 << 14
+	workers := runtime.GOMAXPROCS(0)
+	if len(code) < parallelThreshold || workers == 1 {
+		decodeRange(0, len(code))
+		return g
+	}
+	var wg sync.WaitGroup
+	chunk := (len(code) + workers - 1) / workers
+	for from := 0; from < len(code); from += chunk {
+		to := from + chunk
+		if to > len(code) {
+			to = len(code)
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			decodeRange(a, b)
+		}(from, to)
+	}
+	wg.Wait()
+	return g
+}
+
+// Len returns the section size.
+func (g *Graph) Len() int { return len(g.Code) }
+
+// Contains reports whether addr falls inside the section.
+func (g *Graph) Contains(addr uint64) bool {
+	return addr >= g.Base && addr < g.Base+uint64(len(g.Code))
+}
+
+// OffsetOf converts a virtual address to a section offset (-1 if outside).
+func (g *Graph) OffsetOf(addr uint64) int {
+	if !g.Contains(addr) {
+		return -1
+	}
+	return int(addr - g.Base)
+}
+
+// TargetOff returns the section offset of a direct branch target, or -1.
+func (g *Graph) TargetOff(off int) int {
+	if !g.Valid[off] {
+		return -1
+	}
+	switch g.Insts[off].Flow {
+	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
+		return g.OffsetOf(g.Insts[off].Target)
+	}
+	return -1
+}
+
+// ForcedSuccs appends to dst the offsets that MUST be instructions if off
+// is an instruction: the fallthrough successor and the direct branch
+// target. A direct branch leaving the section yields a -1 entry,
+// signalling an impossible instruction (application code does not branch
+// into nothing) — unless the target lies in a registered external
+// executable range (cross-section tail call), in which case it imposes no
+// local constraint and is omitted.
+func (g *Graph) ForcedSuccs(dst []int, off int) []int {
+	if !g.Valid[off] {
+		return dst
+	}
+	inst := &g.Insts[off]
+	if inst.Flow.HasFallthrough() {
+		next := off + inst.Len
+		if next < len(g.Code) {
+			dst = append(dst, next)
+		} else {
+			dst = append(dst, -1)
+		}
+	}
+	switch inst.Flow {
+	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
+		if t := g.OffsetOf(inst.Target); t >= 0 {
+			dst = append(dst, t)
+		} else if !g.ExternTarget(inst.Target) {
+			dst = append(dst, -1)
+		}
+	}
+	return dst
+}
+
+// Occupies reports the byte range [off, off+len) of the decode at off.
+func (g *Graph) Occupies(off int) (from, to int) {
+	if !g.Valid[off] {
+		return off, off
+	}
+	return off, off + g.Insts[off].Len
+}
+
+// ValidCount returns the number of offsets with a valid decode (useful as
+// a superset-density diagnostic).
+func (g *Graph) ValidCount() int {
+	n := 0
+	for _, v := range g.Valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package superset
+
+import (
+	"testing"
+
+	"probedis/internal/synth"
+	"probedis/internal/x86"
+)
+
+func TestBuildSimple(t *testing.T) {
+	// 0: push rbp; 1: mov rbp,rsp; 4: ret
+	code := []byte{0x55, 0x48, 0x89, 0xe5, 0xc3}
+	g := Build(code, 0x1000)
+	if g.Len() != 5 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	for off, wantOp := range map[int]x86.Op{0: x86.PUSH, 1: x86.MOV, 4: x86.RET} {
+		if !g.Valid[off] || g.Insts[off].Op != wantOp {
+			t.Errorf("offset %d: valid=%v op=%v, want %v", off, g.Valid[off], g.Insts[off].Op, wantOp)
+		}
+	}
+	// Offset 2 decodes 0x89 0xe5 = mov ebp, esp (overlapping decode).
+	if !g.Valid[2] || g.Insts[2].Op != x86.MOV {
+		t.Errorf("offset 2 should decode as overlapping mov")
+	}
+	// Truncated tail: offset 3 is 0xe5 0xc3 = in eax, 0xc3 (valid, rare).
+	if !g.Valid[3] || g.Insts[3].Op != x86.IN {
+		t.Errorf("offset 3 = %v valid=%v", g.Insts[3].Op, g.Valid[3])
+	}
+}
+
+func TestForcedSuccs(t *testing.T) {
+	// jmp +0 (to offset 5); ret; call rel32 self+...
+	code := []byte{0xe9, 0x00, 0x00, 0x00, 0x00, 0xc3}
+	g := Build(code, 0x2000)
+	succs := g.ForcedSuccs(nil, 0)
+	if len(succs) != 1 || succs[0] != 5 {
+		t.Errorf("jmp succs = %v, want [5]", succs)
+	}
+	// ret has no successors.
+	if s := g.ForcedSuccs(nil, 5); len(s) != 0 {
+		t.Errorf("ret succs = %v", s)
+	}
+
+	// Conditional branch: fallthrough + target.
+	code = []byte{0x74, 0x01, 0xc3, 0xc3}
+	g = Build(code, 0)
+	succs = g.ForcedSuccs(nil, 0)
+	if len(succs) != 2 || succs[0] != 2 || succs[1] != 3 {
+		t.Errorf("jcc succs = %v, want [2 3]", succs)
+	}
+
+	// Branch out of section: forced successor is -1.
+	code = []byte{0xe9, 0x00, 0x10, 0x00, 0x00}
+	g = Build(code, 0)
+	succs = g.ForcedSuccs(nil, 0)
+	if len(succs) != 1 || succs[0] != -1 {
+		t.Errorf("out-of-section jmp succs = %v, want [-1]", succs)
+	}
+
+	// Fallthrough off the end of the section is also -1.
+	code = []byte{0x90}
+	g = Build(code, 0)
+	succs = g.ForcedSuccs(nil, 0)
+	if len(succs) != 1 || succs[0] != -1 {
+		t.Errorf("end-of-section fallthrough = %v, want [-1]", succs)
+	}
+}
+
+func TestAddressing(t *testing.T) {
+	g := Build(make([]byte, 16), 0x400000)
+	if g.OffsetOf(0x400000) != 0 || g.OffsetOf(0x40000f) != 15 {
+		t.Error("OffsetOf inside")
+	}
+	if g.OffsetOf(0x3fffff) != -1 || g.OffsetOf(0x400010) != -1 {
+		t.Error("OffsetOf outside")
+	}
+	if !g.Contains(0x400008) || g.Contains(0x400010) {
+		t.Error("Contains")
+	}
+}
+
+// TestSupersetCoversTruth: every ground-truth instruction of a generated
+// binary must be valid in the superset graph with the exact same length.
+func TestSupersetCoversTruth(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 21, Profile: synth.ProfileComplex, NumFuncs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(b.Code, b.Base)
+	for off, isStart := range b.Truth.InstStart {
+		if !isStart {
+			continue
+		}
+		if !g.Valid[off] {
+			t.Fatalf("truth instruction at +%#x invalid in superset", off)
+		}
+	}
+	// Superset density: most offsets in x86 decode as something.
+	if d := float64(g.ValidCount()) / float64(g.Len()); d < 0.5 {
+		t.Errorf("superset density suspiciously low: %.2f", d)
+	}
+}
+
+func TestZerosDecode(t *testing.T) {
+	// 00 00 = add [rax], al — zeros are valid x86, which is exactly why
+	// zero padding is hard for naive disassemblers.
+	g := Build(make([]byte, 8), 0)
+	if !g.Valid[0] || g.Insts[0].Op != x86.ADD || g.Insts[0].Len != 2 {
+		t.Errorf("zeros decoded as %v len=%d", g.Insts[0].Op, g.Insts[0].Len)
+	}
+}

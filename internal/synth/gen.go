@@ -1,0 +1,672 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probedis/internal/elfx"
+	"probedis/internal/x86"
+	"probedis/internal/x86/xasm"
+)
+
+// Binary is a generated text section plus its ground truth.
+type Binary struct {
+	Name  string
+	Code  []byte
+	Base  uint64
+	Entry uint64
+	Truth *Truth
+}
+
+// ELF serialises the binary as a stripped static ELF64 executable.
+func (b *Binary) ELF() ([]byte, error) {
+	var bld elfx.Builder
+	bld.Entry = b.Entry
+	bld.AddSection(".text", b.Base, elfx.SHFAlloc|elfx.SHFExecinstr, b.Code)
+	return bld.Write()
+}
+
+// Generate builds one synthetic binary from cfg.
+func Generate(cfg Config) (*Binary, error) {
+	if cfg.NumFuncs <= 0 {
+		cfg.NumFuncs = 32
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 0x401000
+	}
+	g := &gen{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		a:   xasm.New(cfg.Base),
+		p:   cfg.Profile,
+	}
+	g.run(cfg.NumFuncs)
+	code, err := g.a.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	truth := newTruth(len(code))
+	for _, m := range g.marks {
+		truth.mark(m.from, m.to, m.class)
+	}
+	for _, off := range g.instStarts {
+		truth.InstStart[off] = true
+	}
+	truth.FuncStarts = g.funcStarts
+	entry, _ := g.a.LabelAddr("fn_0")
+	return &Binary{
+		Name:  fmt.Sprintf("%s-s%d-n%d", cfg.Profile.Name, cfg.Seed, cfg.NumFuncs),
+		Code:  code,
+		Base:  cfg.Base,
+		Entry: entry,
+		Truth: truth,
+	}, nil
+}
+
+type mark struct {
+	from, to int
+	class    ByteClass
+}
+
+type gen struct {
+	rng *rand.Rand
+	a   *xasm.Asm
+	p   Profile
+
+	marks      []mark
+	instStarts []int
+	funcStarts []int
+
+	nfuncs   int
+	labelSeq int
+
+	// per-function state
+	inited uint32 // bitmask of initialized GPRs
+	fnIdx  int
+	blocks []string // block labels of the current function
+	didJT  bool
+}
+
+// pool of registers the generator allocates from (never RSP; RBP only when
+// frameless).
+var regPool = []xasm.Reg{
+	x86.RAX, x86.RCX, x86.RDX, x86.RBX, x86.RSI, x86.RDI,
+	x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14, x86.R15,
+}
+
+func (g *gen) label(pfx string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", pfx, g.labelSeq)
+}
+
+// i records an instruction start and runs the emitter.
+func (g *gen) i(emit func()) {
+	g.instStarts = append(g.instStarts, g.a.Len())
+	emit()
+}
+
+// markRange records [from, to) as class c. Code is the default (zero) class
+// so only data ranges need marks.
+func (g *gen) markRange(from, to int, c ByteClass) {
+	if to > from {
+		g.marks = append(g.marks, mark{from, to, c})
+	}
+}
+
+func (g *gen) run(nfuncs int) {
+	g.nfuncs = nfuncs
+	for f := 0; f < nfuncs; f++ {
+		g.genFunc(f)
+	}
+}
+
+// --- register helpers ----------------------------------------------------
+
+func (g *gen) randReg() xasm.Reg { return regPool[g.rng.Intn(len(regPool))] }
+
+// srcReg picks an initialized register.
+func (g *gen) srcReg() xasm.Reg {
+	var cands []xasm.Reg
+	for _, r := range regPool {
+		if g.inited&r.Bit() != 0 {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		// Initialize one on demand.
+		r := g.randReg()
+		g.i(func() { g.a.MovRegImm32(r, g.rng.Uint32()%1024) })
+		g.inited |= r.Bit()
+		return r
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// dstReg picks any pool register and marks it initialized.
+func (g *gen) dstReg() xasm.Reg {
+	r := g.randReg()
+	g.inited |= r.Bit()
+	return r
+}
+
+// chance rolls a probability.
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// --- function generation ---------------------------------------------------
+
+func (g *gen) genFunc(idx int) {
+	g.fnIdx = idx
+	g.didJT = false
+
+	// Alignment padding between functions.
+	if g.p.Align > 1 {
+		pad := (g.p.Align - g.a.Len()%g.p.Align) % g.p.Align
+		if pad > 0 {
+			g.emitPadding(pad)
+		}
+	}
+
+	g.funcStarts = append(g.funcStarts, g.a.Len())
+	g.a.Label(fmt.Sprintf("fn_%d", idx))
+
+	// SysV argument registers arrive initialized.
+	g.inited = x86.RDI.Bit() | x86.RSI.Bit() | x86.RDX.Bit() |
+		x86.RCX.Bit() | x86.R8.Bit() | x86.R9.Bit()
+
+	if g.p.Endbr {
+		g.i(func() { g.a.Endbr64() })
+	}
+	frame := g.p.FramePointer || g.chance(0.2)
+	var frameSize int32
+	if frame {
+		g.i(func() { g.a.Push(x86.RBP) })
+		g.i(func() { g.a.MovRegReg(true, x86.RBP, x86.RSP) })
+	}
+	if g.chance(0.7) {
+		frameSize = int32(8 * (1 + g.rng.Intn(16)))
+		g.i(func() { g.a.AluImm(true, xasm.AluSub, x86.RSP, frameSize) })
+	}
+	nSaved := g.rng.Intn(3)
+	saved := make([]xasm.Reg, 0, nSaved)
+	for len(saved) < nSaved {
+		r := []xasm.Reg{x86.RBX, x86.R12, x86.R13, x86.R14, x86.R15}[g.rng.Intn(5)]
+		dup := false
+		for _, s := range saved {
+			dup = dup || s == r
+		}
+		if !dup {
+			saved = append(saved, r)
+			g.i(func() { g.a.Push(r) })
+		}
+	}
+
+	// Basic blocks.
+	n := g.p.MinBlocks + g.rng.Intn(g.p.MaxBlocks-g.p.MinBlocks+1)
+	g.blocks = make([]string, n)
+	for j := range g.blocks {
+		g.blocks[j] = g.label("blk")
+	}
+	var trailing []func() // inline data emitted after the function body
+
+	for j := 0; j < n; j++ {
+		g.a.Label(g.blocks[j])
+		bodyLen := 2 + g.rng.Intn(7)
+		for k := 0; k < bodyLen; k++ {
+			g.bodyInst(frame, frameSize, &trailing)
+		}
+		if g.chance(g.p.CallDensity) {
+			g.emitCall()
+		}
+		if j == n-1 {
+			g.emitEpilogue(frame, frameSize, saved)
+			break
+		}
+		g.emitTerminator(j, &trailing)
+	}
+
+	// Inline data islands after the body.
+	for _, emit := range trailing {
+		emit()
+	}
+	if g.chance(g.p.StringFreq) {
+		g.emitStringIsland("")
+	}
+	if g.chance(g.p.ConstFreq) {
+		g.emitConstPool("")
+	}
+}
+
+func (g *gen) emitEpilogue(frame bool, frameSize int32, saved []xasm.Reg) {
+	for k := len(saved) - 1; k >= 0; k-- {
+		r := saved[k]
+		g.i(func() { g.a.Pop(r) })
+	}
+	switch {
+	case frame && g.chance(0.5):
+		g.i(func() { g.a.Leave() })
+	case frame:
+		if frameSize > 0 {
+			g.i(func() { g.a.AluImm(true, xasm.AluAdd, x86.RSP, frameSize) })
+		}
+		g.i(func() { g.a.Pop(x86.RBP) })
+	default:
+		if frameSize > 0 {
+			g.i(func() { g.a.AluImm(true, xasm.AluAdd, x86.RSP, frameSize) })
+		}
+	}
+	g.i(func() { g.a.Ret() })
+}
+
+// emitCall emits a direct or indirect call to a random function.
+func (g *gen) emitCall() {
+	callee := fmt.Sprintf("fn_%d", g.rng.Intn(g.nfuncs))
+	if g.chance(g.p.IndirectCalls) {
+		r := g.dstReg()
+		g.i(func() { g.a.LeaLabel(r, callee) })
+		g.i(func() { g.a.CallReg(r) })
+	} else {
+		g.i(func() { g.a.CallLabel(callee) })
+	}
+	// The call clobbers caller-saved registers; result in rax.
+	g.inited |= x86.RAX.Bit()
+}
+
+// emitTerminator ends block j (not the last block).
+func (g *gen) emitTerminator(j int, trailing *[]func()) {
+	switch {
+	case !g.didJT && g.chance(g.p.JumpTableFreq):
+		g.didJT = true
+		g.emitSwitch(j, trailing)
+	case g.chance(0.55):
+		// Conditional branch + fallthrough.
+		target := g.branchTarget(j)
+		a, b := g.srcReg(), g.srcReg()
+		cond := xasm.Cond(g.rng.Intn(16))
+		if g.chance(0.5) {
+			g.i(func() { g.a.Alu(true, xasm.AluCmp, a, b) })
+		} else {
+			g.i(func() { g.a.TestRegReg(true, a, a) })
+		}
+		g.i(func() { g.a.Jcc(cond, target) })
+	case g.p.TailCallFreq > 0 && g.chance(g.p.TailCallFreq):
+		// Tail call: jump straight to another function's entry.
+		callee := fmt.Sprintf("fn_%d", g.rng.Intn(g.nfuncs))
+		g.i(func() { g.a.JmpLabel(callee) })
+		g.maybeJunk()
+	case g.chance(0.3):
+		g.i(func() { g.a.JmpLabel(g.branchTarget(j)) })
+		g.maybeJunk()
+	default:
+		// Plain fallthrough.
+	}
+}
+
+// junkBytes look like instruction prefixes or multi-byte opcode heads, so
+// a sequential decoder swallows real bytes after them.
+var junkBytes = []byte{0xe8, 0xe9, 0x0f, 0x48, 0x66, 0xeb, 0xc4, 0x8b, 0xf2}
+
+// maybeJunk inserts 1-3 anti-disassembly junk bytes (profile-gated). Only
+// called where execution provably cannot reach (after unconditional
+// jumps).
+func (g *gen) maybeJunk() {
+	// Do not draw from the RNG when the feature is disabled: profiles
+	// without junk must keep their exact generation streams.
+	if g.p.JunkFreq == 0 || !g.chance(g.p.JunkFreq) {
+		return
+	}
+	from := g.a.Len()
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.a.Raw(junkBytes[g.rng.Intn(len(junkBytes))])
+	}
+	g.markRange(from, g.a.Len(), ClassJunk)
+}
+
+// branchTarget picks a block label, biased forward, backward with
+// LoopDensity.
+func (g *gen) branchTarget(j int) string {
+	n := len(g.blocks)
+	if j > 0 && g.chance(g.p.LoopDensity) {
+		return g.blocks[g.rng.Intn(j)]
+	}
+	if j+1 < n {
+		return g.blocks[j+1+g.rng.Intn(n-j-1)]
+	}
+	return g.blocks[n-1]
+}
+
+// --- instruction bodies ----------------------------------------------------
+
+var aluOps = []xasm.AluKind{
+	xasm.AluAdd, xasm.AluSub, xasm.AluAnd, xasm.AluOr, xasm.AluXor,
+}
+
+// bodyInst emits one realistic body instruction.
+func (g *gen) bodyInst(frame bool, frameSize int32, trailing *[]func()) {
+	stackBase := x86.RSP
+	if frame {
+		stackBase = x86.RBP
+	}
+	slot := func() xasm.Mem {
+		d := int64(-8 * (1 + g.rng.Intn(8)))
+		if !frame {
+			d = int64(8 * g.rng.Intn(8))
+		}
+		if frameSize > 0 && d < int64(-frameSize) {
+			d = int64(-frameSize)
+		}
+		return xasm.Mem{Base: stackBase, Disp: d}
+	}
+	w := g.chance(0.6) // 64-bit vs 32-bit
+	switch r := g.rng.Float64(); {
+	case r < 0.16: // mov reg, reg
+		src := g.srcReg()
+		g.i(func() { g.a.MovRegReg(w, g.dstReg(), src) })
+	case r < 0.28: // mov reg, imm
+		g.i(func() { g.a.MovRegImm32(g.dstReg(), g.rng.Uint32()) })
+	case r < 0.42: // load
+		m := slot()
+		g.i(func() { g.a.MovRegMem(w, g.dstReg(), m) })
+	case r < 0.54: // store
+		src, m := g.srcReg(), slot()
+		g.i(func() { g.a.MovMemReg(w, m, src) })
+	case r < 0.64: // alu reg, reg
+		op := aluOps[g.rng.Intn(len(aluOps))]
+		src := g.srcReg()
+		dst := g.srcReg() // RMW: dst must be initialized too
+		g.i(func() { g.a.Alu(w, op, dst, src) })
+	case r < 0.72: // alu reg, imm
+		op := aluOps[g.rng.Intn(len(aluOps))]
+		dst := g.srcReg()
+		g.i(func() { g.a.AluImm(w, op, dst, int32(g.rng.Uint32()%65536)) })
+	case r < 0.78: // lea
+		base, idx := g.srcReg(), g.srcReg()
+		m := xasm.Mem{Base: base, Disp: int64(g.rng.Intn(256))}
+		if idx != x86.RSP && g.chance(0.5) {
+			m.Index = idx
+			m.Scale = []uint8{1, 2, 4, 8}[g.rng.Intn(4)]
+		}
+		g.i(func() { g.a.Lea(g.dstReg(), m) })
+	case r < 0.83: // shift or imul
+		dst := g.srcReg()
+		if g.chance(0.5) {
+			ext := []byte{4, 5, 7}[g.rng.Intn(3)]
+			sh := uint8(1 + g.rng.Intn(31))
+			g.i(func() { g.a.ShiftImm(w, ext, dst, sh) })
+		} else {
+			src := g.srcReg()
+			g.i(func() { g.a.ImulRegReg(true, dst, src) })
+		}
+	case r < 0.87: // movzx/movsxd
+		src := g.srcReg()
+		if g.chance(0.5) {
+			g.i(func() { g.a.MovzxBReg(g.dstReg(), src) })
+		} else {
+			g.i(func() { g.a.MovsxdRegReg(g.dstReg(), src) })
+		}
+	case r < 0.91: // cmp/test + setcc or cmov
+		a, b := g.srcReg(), g.srcReg()
+		g.i(func() { g.a.Alu(true, xasm.AluCmp, a, b) })
+		if g.chance(0.5) {
+			g.i(func() { g.a.Setcc(xasm.Cond(g.rng.Intn(16)), g.dstReg()) })
+		} else {
+			dst, src := g.srcReg(), g.srcReg()
+			g.i(func() { g.a.Cmov(xasm.Cond(g.rng.Intn(16)), dst, src) })
+		}
+	case r < 0.94:
+		if g.chance(g.p.SSEDensity) {
+			g.sseInst(trailing)
+		} else {
+			src := g.srcReg()
+			g.i(func() { g.a.MovRegReg(w, g.dstReg(), src) })
+		}
+	case r < 0.97: // division (rare, heavy)
+		src := g.srcReg()
+		if src == x86.RAX || src == x86.RDX {
+			src = x86.RBX
+			g.i(func() { g.a.MovRegImm32(src, 1+g.rng.Uint32()%100) })
+			g.inited |= src.Bit()
+		}
+		g.i(func() { g.a.MovRegImm32(x86.RAX, g.rng.Uint32()) })
+		g.inited |= x86.RAX.Bit()
+		g.i(func() { g.a.Cqo() })
+		g.inited |= x86.RDX.Bit()
+		g.i(func() { g.a.IdivReg(true, src) })
+	default: // inc/dec/neg/not
+		dst := g.srcReg()
+		switch g.rng.Intn(4) {
+		case 0:
+			g.i(func() { g.a.IncReg(w, dst) })
+		case 1:
+			g.i(func() { g.a.DecReg(w, dst) })
+		case 2:
+			g.i(func() { g.a.NegReg(w, dst) })
+		default:
+			g.i(func() { g.a.NotReg(w, dst) })
+		}
+	}
+}
+
+// sseInst emits a scalar-SSE snippet, possibly referencing an inline
+// constant pool.
+func (g *gen) sseInst(trailing *[]func()) {
+	x := xasm.Xmm(g.rng.Intn(8))
+	y := xasm.Xmm(g.rng.Intn(8))
+	switch g.rng.Intn(5) {
+	case 0:
+		g.i(func() { g.a.Pxor(x, x) })
+		src := g.srcReg()
+		g.i(func() { g.a.Cvtsi2sd(x, src) })
+	case 1:
+		g.i(func() { g.a.Addsd(x, y) })
+	case 2:
+		g.i(func() { g.a.Mulsd(x, y) })
+	case 3:
+		g.i(func() { g.a.Subsd(x, y) })
+	default:
+		// Load a constant from an inline pool emitted after the function,
+		// either through a pointer register or rip-relative directly.
+		lbl := g.label("cpool")
+		if g.chance(0.5) {
+			r := g.dstReg()
+			g.i(func() { g.a.LeaLabel(r, lbl) })
+			g.i(func() { g.a.MovsdLoad(x, xasm.Mem{Base: r}) })
+		} else {
+			g.i(func() { g.a.MovsdLoadLabel(x, lbl) })
+		}
+		*trailing = append(*trailing, func() { g.emitConstPool(lbl) })
+	}
+}
+
+// --- switches / jump tables -------------------------------------------------
+
+// emitSwitch ends block j with a bounds-checked jump-table dispatch. Three
+// table forms are generated: absolute-address SIB, abs64-entries loaded via
+// a register, and PIC offset tables.
+func (g *gen) emitSwitch(j int, trailing *[]func()) {
+	k := g.p.MinCases + g.rng.Intn(g.p.MaxCases-g.p.MinCases+1)
+	sel := g.srcReg()
+	if sel == x86.RAX || sel == x86.RDX {
+		sel = x86.RSI
+		g.inited |= sel.Bit()
+		g.i(func() { g.a.MovRegImm32(sel, g.rng.Uint32()%uint32(k)) })
+	}
+	next := g.blocks[j+1]
+	tbl := g.label("jt")
+	cases := make([]string, k)
+	for c := range cases {
+		cases[c] = g.label("case")
+	}
+
+	// Bounds check.
+	g.i(func() { g.a.CmpRegImm(true, sel, int32(k-1)) })
+	g.i(func() { g.a.Jcc(xasm.A, next) })
+
+	form := g.rng.Float64()
+	switch {
+	case form < g.p.Abs64Tables:
+		// jmp [tbl + sel*8]
+		g.i(func() { g.a.JmpMemIdx(sel, tbl) })
+	case form < g.p.Abs64Tables+0.5*(1-g.p.Abs64Tables):
+		// lea base,[rip+tbl]; mov tmp,[base+sel*8]; jmp tmp
+		base := g.pickTemp(sel)
+		tmp := g.pickTemp(sel, base)
+		g.i(func() { g.a.LeaLabel(base, tbl) })
+		g.i(func() { g.a.MovRegMem(true, tmp, xasm.Mem{Base: base, Index: sel, Scale: 8}) })
+		g.i(func() { g.a.JmpReg(tmp) })
+	default:
+		// PIC: lea base,[rip+tbl]; movsxd tmp,dword [base+sel*4]; add tmp,base; jmp tmp
+		base := g.pickTemp(sel)
+		tmp := g.pickTemp(sel, base)
+		g.i(func() { g.a.LeaLabel(base, tbl) })
+		g.i(func() { g.a.MovsxdRegMem(tmp, xasm.Mem{Base: base, Index: sel, Scale: 4}) })
+		g.i(func() { g.a.Alu(true, xasm.AluAdd, tmp, base) })
+		g.i(func() { g.a.JmpReg(tmp) })
+		// PIC tables use 4-byte offsets.
+		emitTable := func() {
+			from := g.a.Len()
+			g.a.Label(tbl)
+			for _, c := range cases {
+				g.a.LongDiff(c, tbl)
+			}
+			g.markRange(from, g.a.Len(), ClassJumpTable)
+		}
+		g.placeTable(emitTable, trailing)
+		g.emitCases(cases, next)
+		return
+	}
+	// Absolute 8-byte entries.
+	emitTable := func() {
+		from := g.a.Len()
+		g.a.Label(tbl)
+		for _, c := range cases {
+			g.a.Quad(c)
+		}
+		g.markRange(from, g.a.Len(), ClassJumpTable)
+	}
+	g.placeTable(emitTable, trailing)
+	g.emitCases(cases, next)
+}
+
+// placeTable emits the table immediately (embedded between code) half the
+// time, otherwise defers it to after the function body.
+func (g *gen) placeTable(emit func(), trailing *[]func()) {
+	if g.chance(0.5) {
+		emit()
+	} else {
+		*trailing = append(*trailing, emit)
+	}
+}
+
+// emitCases emits the k case blocks, each joining at `next`.
+func (g *gen) emitCases(cases []string, next string) {
+	for _, c := range cases {
+		g.a.Label(c)
+		nb := 1 + g.rng.Intn(3)
+		for k := 0; k < nb; k++ {
+			src := g.srcReg()
+			switch g.rng.Intn(3) {
+			case 0:
+				g.i(func() { g.a.MovRegImm32(g.dstReg(), g.rng.Uint32()%4096) })
+			case 1:
+				g.i(func() { g.a.Alu(false, xasm.AluAdd, g.srcReg(), src) })
+			default:
+				g.i(func() { g.a.ImulRegRegImm(true, g.dstReg(), src, int32(g.rng.Intn(100))) })
+			}
+		}
+		g.i(func() { g.a.JmpLabel(next) })
+	}
+}
+
+// pickTemp returns a pool register distinct from the given ones.
+func (g *gen) pickTemp(avoid ...xasm.Reg) xasm.Reg {
+	for {
+		r := g.randReg()
+		ok := r != x86.RAX // keep rax for calls
+		for _, a := range avoid {
+			ok = ok && r != a
+		}
+		if ok {
+			g.inited |= r.Bit()
+			return r
+		}
+	}
+}
+
+// --- inline data -------------------------------------------------------------
+
+var words = []string{
+	"error", "warning", "invalid", "argument", "usage", "file", "memory",
+	"failed", "unexpected", "overflow", "config", "socket", "version",
+	"unknown option", "out of range", "permission denied", "%s: %d\n",
+	"connection reset", "assertion", "internal", "buffer", "stream",
+}
+
+// emitStringIsland emits NUL-terminated printable strings (class String).
+func (g *gen) emitStringIsland(label string) {
+	from := g.a.Len()
+	if label != "" {
+		g.a.Label(label)
+	}
+	n := 1 + g.rng.Intn(4)
+	for s := 0; s < n; s++ {
+		w := words[g.rng.Intn(len(words))]
+		if g.chance(0.4) {
+			w += " " + words[g.rng.Intn(len(words))]
+		}
+		g.a.Raw([]byte(w)...)
+		g.a.Raw(0)
+	}
+	g.markRange(from, g.a.Len(), ClassString)
+}
+
+// emitConstPool emits 8-byte FP constants (class Const), 8-aligned.
+func (g *gen) emitConstPool(label string) {
+	if pad := (8 - g.a.Len()%8) % 8; pad > 0 {
+		from := g.a.Len()
+		g.a.Raw(make([]byte, pad)...)
+		g.markRange(from, g.a.Len(), ClassPadding)
+	}
+	from := g.a.Len()
+	if label != "" {
+		g.a.Label(label)
+	}
+	n := 1 + g.rng.Intn(4)
+	for c := 0; c < n; c++ {
+		g.a.U64(math.Float64bits(g.rng.NormFloat64() * 1000))
+	}
+	g.markRange(from, g.a.Len(), ClassConst)
+}
+
+// emitPadding emits n bytes of alignment padding in the profile's style and
+// records the matching ground truth. NOP padding is valid, never-executed
+// code: it is recorded as code (with instruction starts), since no
+// disassembler can — or needs to — tell it from reachable code. INT3 and
+// zero fill are recorded as ClassPadding data.
+func (g *gen) emitPadding(n int) {
+	kind := g.p.Pad
+	if kind == PadMix {
+		kind = PadKind(g.rng.Intn(3))
+	}
+	switch kind {
+	case PadInt3:
+		from := g.a.Len()
+		for i := 0; i < n; i++ {
+			g.a.Raw(0xcc)
+		}
+		g.markRange(from, g.a.Len(), ClassPadding)
+	case PadZero:
+		from := g.a.Len()
+		g.a.Raw(make([]byte, n)...)
+		g.markRange(from, g.a.Len(), ClassPadding)
+	default:
+		for n > 0 {
+			c := n
+			if c > 9 {
+				c = 9
+			}
+			g.i(func() { g.a.Nop(c) })
+			n -= c
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package synth
+
+// PadKind selects the bytes used for inter-function alignment padding.
+type PadKind uint8
+
+// Padding styles seen in real binaries.
+const (
+	PadNop  PadKind = iota // canonical multi-byte NOPs (gcc/clang)
+	PadInt3                // 0xCC fill (MSVC style)
+	PadZero                // zero fill (linkers, hand-written asm)
+	PadMix                 // random mix per site
+)
+
+// Profile is a generation profile mimicking a compiler/optimization-level
+// combination. Frequencies are per-function probabilities unless noted.
+type Profile struct {
+	Name string
+
+	// Code shape.
+	FramePointer  bool // emit push rbp; mov rbp,rsp prologues
+	Endbr         bool // emit endbr64 at function entries
+	MinBlocks     int  // basic blocks per function
+	MaxBlocks     int
+	CallDensity   float64 // probability a block contains a call
+	LoopDensity   float64 // probability a terminator branches backward
+	SSEDensity    float64 // probability a block uses scalar SSE
+	IndirectCalls float64 // probability a call is through a register
+
+	// Embedded data.
+	JumpTableFreq float64 // probability a function contains a switch
+	MinCases      int
+	MaxCases      int
+	Abs64Tables   float64 // fraction of tables using absolute 8-byte entries
+	StringFreq    float64 // probability of an inline string island
+	ConstFreq     float64 // probability of an inline constant pool
+	Align         int     // function alignment (1 = none)
+	Pad           PadKind
+
+	// TailCallFreq is the probability that a block terminator is a tail
+	// call: a direct jmp to another function's entry, as optimizing
+	// compilers emit. Stresses function-boundary recovery.
+	TailCallFreq float64
+
+	// JunkFreq is the probability of inserting anti-disassembly junk
+	// bytes after an unconditional jump: never-executed bytes chosen to
+	// look like instruction prefixes/opcodes so sequential decoders
+	// misalign over the following real code. Zero in compiler profiles.
+	JunkFreq float64
+}
+
+// Profiles used throughout the evaluation (T1/T2/...): they shift the
+// instruction mix and embedded-data density the way compiler and
+// optimization-level changes do in the paper's corpus.
+var (
+	// ProfileO0 mimics unoptimized compiler output: frame pointers,
+	// straight-line-heavy code, little embedded data.
+	ProfileO0 = Profile{
+		Name:          "gcc-O0",
+		FramePointer:  true,
+		MinBlocks:     2,
+		MaxBlocks:     6,
+		CallDensity:   0.30,
+		LoopDensity:   0.15,
+		SSEDensity:    0.05,
+		JumpTableFreq: 0.08,
+		MinCases:      3,
+		MaxCases:      8,
+		Abs64Tables:   0.5,
+		StringFreq:    0.05,
+		ConstFreq:     0.03,
+		Align:         16,
+		Pad:           PadNop,
+	}
+
+	// ProfileO2 mimics optimized output: frameless, denser control flow,
+	// more switches.
+	ProfileO2 = Profile{
+		Name:          "clang-O2",
+		FramePointer:  false,
+		Endbr:         true,
+		MinBlocks:     3,
+		MaxBlocks:     10,
+		CallDensity:   0.25,
+		LoopDensity:   0.25,
+		SSEDensity:    0.10,
+		IndirectCalls: 0.05,
+		JumpTableFreq: 0.18,
+		MinCases:      4,
+		MaxCases:      12,
+		Abs64Tables:   0.4,
+		StringFreq:    0.08,
+		ConstFreq:     0.06,
+		Align:         16,
+		Pad:           PadNop,
+		TailCallFreq:  0.06,
+	}
+
+	// ProfileVec mimics floating-point-heavy optimized code with constant
+	// pools embedded near the code that uses them.
+	ProfileVec = Profile{
+		Name:          "icc-vec",
+		FramePointer:  false,
+		MinBlocks:     2,
+		MaxBlocks:     8,
+		CallDensity:   0.20,
+		LoopDensity:   0.35,
+		SSEDensity:    0.55,
+		JumpTableFreq: 0.10,
+		MinCases:      3,
+		MaxCases:      8,
+		Abs64Tables:   0.3,
+		StringFreq:    0.04,
+		ConstFreq:     0.30,
+		Align:         16,
+		Pad:           PadMix,
+	}
+
+	// ProfileComplex mimics the paper's "complex binaries": hand-written
+	// assembly and legacy toolchains with dense embedded data of every
+	// kind and irregular padding.
+	ProfileComplex = Profile{
+		Name:          "complex",
+		FramePointer:  true,
+		MinBlocks:     2,
+		MaxBlocks:     9,
+		CallDensity:   0.25,
+		LoopDensity:   0.20,
+		SSEDensity:    0.15,
+		IndirectCalls: 0.10,
+		JumpTableFreq: 0.30,
+		MinCases:      4,
+		MaxCases:      16,
+		Abs64Tables:   0.6,
+		StringFreq:    0.35,
+		ConstFreq:     0.15,
+		Align:         8,
+		Pad:           PadMix,
+		TailCallFreq:  0.08,
+	}
+)
+
+// ProfileAdversarial mimics deliberately hostile binaries: the complex
+// profile plus anti-disassembly junk insertion. Used by the extension
+// experiment (E1), not part of the default corpus.
+var ProfileAdversarial = func() Profile {
+	p := ProfileComplex
+	p.Name = "adversarial"
+	p.JunkFreq = 0.5
+	return p
+}()
+
+// DefaultProfiles is the corpus mix used by the accuracy experiments.
+var DefaultProfiles = []Profile{ProfileO0, ProfileO2, ProfileVec, ProfileComplex}
+
+// ScaleData returns a copy of p with all embedded-data frequencies scaled
+// by k (clamped to [0,1]); used by the density-sweep experiment (F1).
+func (p Profile) ScaleData(k float64) Profile {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	q := p
+	q.JumpTableFreq = clamp(p.JumpTableFreq * k)
+	q.StringFreq = clamp(p.StringFreq * k)
+	q.ConstFreq = clamp(p.ConstFreq * k)
+	return q
+}
+
+// Config parameterises one generated binary.
+type Config struct {
+	Seed     int64
+	Profile  Profile
+	NumFuncs int
+	Base     uint64 // text base address; 0 means 0x401000
+}

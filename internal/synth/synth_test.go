@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"testing"
+
+	"probedis/internal/elfx"
+	"probedis/internal/x86"
+)
+
+func testConfigs() []Config {
+	var out []Config
+	for i, p := range append(append([]Profile(nil), DefaultProfiles...), ProfileAdversarial) {
+		out = append(out, Config{Seed: int64(100 + i), Profile: p, NumFuncs: 40})
+	}
+	return out
+}
+
+func TestAdversarialJunkPresent(t *testing.T) {
+	b, err := Generate(Config{Seed: 13, Profile: ProfileAdversarial, NumFuncs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Truth.Counts()[ClassJunk]; n == 0 {
+		t.Fatal("adversarial profile produced no junk bytes")
+	}
+	// Junk must never carry instruction starts.
+	for i, c := range b.Truth.Classes {
+		if c == ClassJunk && b.Truth.InstStart[i] {
+			t.Fatalf("junk byte at +%#x marked as instruction", i)
+		}
+	}
+}
+
+// TestTruthConsistency checks the generator's own ground truth: every
+// recorded instruction decodes, covers only code bytes, falls through only
+// onto other recorded instructions, and direct branch targets are recorded
+// instruction starts.
+func TestTruthConsistency(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(cfg.Profile.Name, func(t *testing.T) {
+			b, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := b.Truth
+			if len(tr.Classes) != len(b.Code) || len(tr.InstStart) != len(b.Code) {
+				t.Fatalf("truth size mismatch: %d vs %d", len(tr.Classes), len(b.Code))
+			}
+			covered := make([]bool, len(b.Code))
+			for off := 0; off < len(b.Code); off++ {
+				if !tr.InstStart[off] {
+					continue
+				}
+				inst, err := x86.Decode(b.Code[off:], b.Base+uint64(off))
+				if err != nil {
+					t.Fatalf("truth instruction at +%#x does not decode: %v (% x)",
+						off, err, b.Code[off:min(off+15, len(b.Code))])
+				}
+				for i := off; i < off+inst.Len; i++ {
+					if tr.Classes[i] != ClassCode {
+						t.Fatalf("instruction at +%#x spans %v byte at +%#x",
+							off, tr.Classes[i], i)
+					}
+					if covered[i] {
+						t.Fatalf("instruction at +%#x overlaps another", off)
+					}
+					covered[i] = true
+				}
+				if i := off + inst.Len; inst.Flow.HasFallthrough() && i < len(b.Code) {
+					if !tr.InstStart[i] {
+						t.Fatalf("fallthrough of +%#x (%v) lands on non-instruction +%#x",
+							off, inst.Op, i)
+					}
+				}
+				switch inst.Flow {
+				case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
+					toff := int(inst.Target - b.Base)
+					if toff < 0 || toff >= len(b.Code) || !tr.InstStart[toff] {
+						t.Fatalf("branch at +%#x targets non-instruction %#x", off, inst.Target)
+					}
+				}
+			}
+			// Every code byte must belong to exactly one instruction.
+			for i, c := range tr.Classes {
+				if c == ClassCode && !covered[i] {
+					t.Fatalf("code byte +%#x not covered by any instruction", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEmbeddedDataPresent verifies the corpus actually contains the data
+// kinds the evaluation depends on.
+func TestEmbeddedDataPresent(t *testing.T) {
+	b, err := Generate(Config{Seed: 7, Profile: ProfileComplex, NumFuncs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := b.Truth.Counts()
+	for _, c := range []ByteClass{ClassJumpTable, ClassString, ClassConst, ClassPadding} {
+		if counts[c] == 0 {
+			t.Errorf("no %v bytes in complex profile corpus", c)
+		}
+	}
+	if counts[ClassCode] < len(b.Code)/2 {
+		t.Errorf("code is only %d/%d bytes", counts[ClassCode], len(b.Code))
+	}
+	if len(b.Truth.FuncStarts) != 80 {
+		t.Errorf("func starts = %d, want 80", len(b.Truth.FuncStarts))
+	}
+}
+
+// TestDeterminism: same config, same bytes.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 3, Profile: ProfileO2, NumFuncs: 25}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Code) != string(b.Code) {
+		t.Fatal("generator is not deterministic")
+	}
+	for i := range a.Truth.Classes {
+		if a.Truth.Classes[i] != b.Truth.Classes[i] {
+			t.Fatalf("truth differs at +%#x", i)
+		}
+	}
+}
+
+// TestSeedsDiffer: different seeds produce different binaries.
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Seed: 1, Profile: ProfileO2, NumFuncs: 10})
+	b, _ := Generate(Config{Seed: 2, Profile: ProfileO2, NumFuncs: 10})
+	if string(a.Code) == string(b.Code) {
+		t.Fatal("different seeds produced identical binaries")
+	}
+}
+
+func TestELFEmission(t *testing.T) {
+	b, err := Generate(Config{Seed: 11, Profile: ProfileO0, NumFuncs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elfx.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := f.ExecutableSections()
+	if len(secs) != 1 {
+		t.Fatalf("executable sections = %d", len(secs))
+	}
+	if secs[0].Addr != b.Base || int(secs[0].Size) != len(b.Code) {
+		t.Fatalf("section %#x+%d, want %#x+%d", secs[0].Addr, secs[0].Size, b.Base, len(b.Code))
+	}
+	if f.Entry != b.Entry {
+		t.Errorf("entry %#x, want %#x", f.Entry, b.Entry)
+	}
+	for i := range b.Code {
+		if secs[0].Data[i] != b.Code[i] {
+			t.Fatalf("ELF text differs at +%#x", i)
+		}
+	}
+}
+
+// TestScaleData checks the density knob.
+func TestScaleData(t *testing.T) {
+	zero := ProfileComplex.ScaleData(0)
+	if zero.JumpTableFreq != 0 || zero.StringFreq != 0 || zero.ConstFreq != 0 {
+		t.Errorf("ScaleData(0) = %+v", zero)
+	}
+	b0, _ := Generate(Config{Seed: 5, Profile: zero, NumFuncs: 40})
+	c0 := b0.Truth.Counts()
+	if c0[ClassJumpTable] != 0 || c0[ClassString] != 0 || c0[ClassConst] != 0 {
+		t.Errorf("density-0 corpus still has embedded data: %v", c0)
+	}
+	hi := ProfileComplex.ScaleData(10)
+	if hi.JumpTableFreq != 1 {
+		t.Errorf("ScaleData should clamp to 1, got %v", hi.JumpTableFreq)
+	}
+	bHi, _ := Generate(Config{Seed: 5, Profile: hi, NumFuncs: 40})
+	if bHi.Truth.DataBytes() <= b0.Truth.DataBytes() {
+		t.Errorf("density 10 (%d data bytes) not above density 0 (%d)",
+			bHi.Truth.DataBytes(), b0.Truth.DataBytes())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+// Package synth generates synthetic x86-64 binaries with byte-exact ground
+// truth for evaluating disassemblers. Generated code mimics compiler output
+// (prologues, register discipline, realistic instruction mix, call graphs)
+// and embeds the data that makes real binaries hard to disassemble: jump
+// tables, string islands, floating-point constant pools, and alignment
+// padding — at a configurable density.
+package synth
+
+// ByteClass is the ground-truth classification of one byte of a text
+// section.
+type ByteClass uint8
+
+// Ground-truth byte classes.
+const (
+	ClassCode ByteClass = iota
+	ClassJumpTable
+	ClassString
+	ClassConst
+	ClassPadding
+	ClassJunk // anti-disassembly junk bytes (never executed, misalign sweeps)
+
+	// NumClasses is the number of byte classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"code", "jumptable", "string", "const", "padding", "junk"}
+
+func (c ByteClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// IsData reports whether the class is embedded data (everything except
+// executed code). Padding counts as data: it is never executed and
+// misclassifying it as reachable code is an error.
+func (c ByteClass) IsData() bool { return c != ClassCode }
+
+// Truth is the byte-exact ground truth for a generated text section.
+type Truth struct {
+	// Classes[i] classifies code[i].
+	Classes []ByteClass
+	// InstStart[i] is true when an actual instruction starts at code[i].
+	InstStart []bool
+	// FuncStarts are section-relative offsets of function entry points.
+	FuncStarts []int
+}
+
+// newTruth allocates ground truth for n bytes.
+func newTruth(n int) *Truth {
+	return &Truth{
+		Classes:   make([]ByteClass, n),
+		InstStart: make([]bool, n),
+	}
+}
+
+// mark classifies the byte range [from, to).
+func (t *Truth) mark(from, to int, c ByteClass) {
+	for i := from; i < to; i++ {
+		t.Classes[i] = c
+	}
+}
+
+// Counts returns the number of bytes per class.
+func (t *Truth) Counts() [NumClasses]int {
+	var out [NumClasses]int
+	for _, c := range t.Classes {
+		out[c]++
+	}
+	return out
+}
+
+// CodeBytes returns the number of true code bytes.
+func (t *Truth) CodeBytes() int { return t.Counts()[ClassCode] }
+
+// DataBytes returns the number of embedded data bytes (incl. padding).
+func (t *Truth) DataBytes() int { return len(t.Classes) - t.CodeBytes() }
+
+// NumInsts returns the number of ground-truth instructions.
+func (t *Truth) NumInsts() int {
+	n := 0
+	for _, s := range t.InstStart {
+		if s {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,320 @@
+package x86
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// covVec is one coverage vector: hex bytes, expected length and mnemonic.
+type covVec struct {
+	hex string
+	len int
+	op  Op
+}
+
+// coverage vectors grouped by encoding family; lengths hand-verified
+// against the SDM encoding rules.
+var coverageVectors = []covVec{
+	// --- ModRM addressing shapes -----------------------------------------
+	{"8b00", 2, MOV},               // mov eax, [rax]
+	{"8b45f8", 3, MOV},             // mov eax, [rbp-8]      (mod=01)
+	{"8b8034120000", 6, MOV},       // mov eax, [rax+0x1234] (mod=10)
+	{"8b0425785634 12", 7, MOV},    // mov eax, [0x12345678] (SIB, no base)
+	{"8b042518000000", 7, MOV},     // mov eax, [0x18]
+	{"8b0418", 3, MOV},             // mov eax, [rax+rbx]
+	{"8b0448", 3, MOV},             // mov eax, [rax+rcx*2] (SIB, mod=00)
+	{"8b444818", 4, MOV},           // mov eax, [rax+rcx*2+0x18] (SIB+disp8)
+	{"8b84c878563412", 7, MOV},     // mov eax, [rax+rcx*8+disp32]
+	{"8b0500000000", 6, MOV},       // mov eax, [rip+0]
+	{"418b0424", 4, MOV},           // mov eax, [r12]  (SIB forced)
+	{"418b4500", 4, MOV},           // mov eax, [r13]  (disp8 forced)
+	{"428b043d78563412", 8, MOV},   // mov eax, [r15*1+disp32]
+	{"4a8b04fd00000000", 8, MOV},   // mov rax, [r15*8+disp32]
+	{"678b00", 3, MOV},             // addr-size prefix
+	{"65488b042528000000", 9, MOV}, // mov rax, gs:[0x28] (stack canary)
+	{"36890424", 4, MOV},           // mov ss:[rsp], eax
+	// --- REX forms --------------------------------------------------------
+	{"4889c8", 3, MOV},   // mov rax, rcx
+	{"4d89c1", 3, MOV},   // mov r9, r8
+	{"664589c1", 4, MOV}, // mov r9w, r8w
+	{"4088ee", 3, MOV},   // mov sil, bpl (REX forces new 8-bit regs)
+	{"4531ed", 3, XOR},   // xor r13d, r13d
+	// --- immediates -------------------------------------------------------
+	{"b82a000000", 5, MOV},               // mov eax, imm32
+	{"66b83412", 4, MOV},                 // mov ax, imm16
+	{"b0ff", 2, MOV},                     // mov al, imm8
+	{"48b80102030405060708", 10, MOVABS}, // movabs
+	{"c70078563412", 6, MOV},             // mov dword [rax], imm32
+	{"66c7003412", 5, MOV},               // mov word [rax], imm16
+	{"48c7c078563412", 7, MOV},           // mov rax, imm32 (sign-extended)
+	{"83c01f", 3, ADD},                   // add eax, imm8
+	{"0501000000", 5, ADD},               // add eax, imm32
+	{"6681c43412", 5, ADD},               // add sp, imm16
+	{"a900000080", 5, TEST},              // test eax, imm32
+	{"f6c001", 3, TEST},                  // test al, imm8
+	{"66f7c13412", 5, TEST},              // test cx, imm16
+	// --- stack / calls ------------------------------------------------------
+	{"50", 1, PUSH}, {"4157", 2, PUSH}, {"5d", 1, POP}, {"415c", 2, POP},
+	{"68ffffffff", 5, PUSH},
+	{"6a7f", 2, PUSH},
+	{"ff7508", 3, PUSH}, // push qword [rbp+8]
+	{"8f00", 2, POP},    // pop qword [rax]
+	{"9c", 1, PUSHF}, {"9d", 1, POPF},
+	{"c8100000", 4, ENTER}, {"c9", 1, LEAVE},
+	{"e800000000", 5, CALL},
+	{"ffd3", 2, CALL},         // call rbx
+	{"ff1500000000", 6, CALL}, // call [rip+0]
+	{"c3", 1, RET}, {"c21000", 3, RET},
+	// --- branches -----------------------------------------------------------
+	{"eb00", 2, JMP}, {"e900000000", 5, JMP},
+	{"ffe0", 2, JMP}, {"ff2500000000", 6, JMP},
+	{"ff24c500104000", 7, JMP}, // jmp [rax*8+0x401000]
+	{"7400", 2, JCC}, {"0f8400000000", 6, JCC},
+	{"e3fe", 2, JRCXZ}, {"e2fb", 2, LOOP}, {"e0fb", 2, LOOPNE}, {"e1fb", 2, LOOPE},
+	// --- groups -------------------------------------------------------------
+	{"80c101", 3, ADD},       // grp1 Eb, Ib
+	{"81e9ff000000", 6, SUB}, // grp1 Ev, Iz
+	{"83f87f", 3, CMP},       // grp1 Ev, Ib
+	{"c0e003", 3, SHL}, {"c1f805", 3, SAR}, {"d1e8", 2, SHR},
+	{"d3e0", 2, SHL}, {"d0c8", 2, ROR},
+	{"f7d8", 2, NEG}, {"f7d0", 2, NOT}, {"f7e1", 2, MUL},
+	{"f7f9", 2, IDIV}, {"48f7ff", 3, IDIV},
+	{"fec8", 2, DEC}, {"fec0", 2, INC},
+	{"ffc0", 2, INC}, {"48ffc9", 3, DEC},
+	{"480fbae004", 5, BT},    // grp8 bt rax, 4
+	{"480fbaf804", 5, BTC},   // grp8 btc rax, 4
+	{"0fc708", 3, CMPXCHG8B}, // grp9 /1 mem
+	{"0fc7f0", 3, SEGOP},     // grp9 /6 rdrand reg form
+	// --- one-byte misc --------------------------------------------------------
+	{"90", 1, NOP}, {"6690", 2, NOP}, {"f390", 2, PAUSE},
+	{"9b", 1, FWAIT}, {"98", 1, CBW}, {"6699", 2, CWD},
+	{"d7", 1, XLAT}, {"9e", 1, SAHF}, {"9f", 1, LAHF},
+	{"f5", 1, CMC}, {"f8", 1, CLC}, {"fd", 1, STD},
+	{"cc", 1, INT3}, {"cd80", 2, INT}, {"f1", 1, INT1},
+	{"f4", 1, HLT}, {"fa", 1, CLI},
+	{"e460", 2, IN}, {"ec", 1, IN}, {"e660", 2, OUT}, {"ee", 1, OUT},
+	{"6c", 1, INS}, {"6f", 1, OUTS},
+	{"a80f", 2, TEST},
+	{"a101020304050607 08", 9, MOVMOFFS},
+	{"67a101020304", 6, MOVMOFFS}, // moffs with addr-size = 4 bytes
+	{"91", 1, XCHG}, {"4890", 2, NOP}, {"4990", 2, XCHG},
+	// --- string ops ------------------------------------------------------------
+	{"a4", 1, MOVS}, {"f3a4", 2, MOVS}, {"f348a5", 3, MOVS},
+	{"aa", 1, STOS}, {"f348ab", 3, STOS},
+	{"ac", 1, LODS}, {"ae", 1, SCAS}, {"f2ae", 2, SCAS}, {"a6", 1, CMPS},
+	// --- x87 ---------------------------------------------------------------------
+	{"d9c0", 2, X87},   // fld st0
+	{"dd45f0", 3, X87}, // fld qword [rbp-0x10]
+	{"dec1", 2, X87},   // faddp
+	{"d93c24", 3, X87}, // fnstcw [rsp] (fwait 9b is its own instruction)
+	// --- two-byte map ---------------------------------------------------------
+	{"0f05", 2, SYSCALL}, {"0f0b", 2, UD2}, {"0fa2", 2, CPUID},
+	{"0f31", 2, RDTSC}, {"0f01f8", 3, SEGOP}, // swapgs
+	{"0f0110", 3, SEGOP}, // lgdt [rax]
+	{"0f00c0", 3, SEGOP}, // sldt eax
+	{"0f90c0", 3, SETCC}, {"410f95c5", 4, SETCC},
+	{"0f44c8", 3, CMOVCC}, {"480f4fc1", 4, CMOVCC},
+	{"0fb6c0", 3, MOVZX}, {"480fb7c0", 4, MOVZX},
+	{"0fbec0", 3, MOVSX}, {"480fbfc0", 4, MOVSX},
+	{"480fafc1", 4, IMUL},
+	{"0fa3c8", 3, BT}, {"0fabc8", 3, BTS}, {"0fb3c8", 3, BTR}, {"0fbbc8", 3, BTC},
+	{"0fbcc1", 3, BSF}, {"0fbdc1", 3, BSR},
+	{"f30fb8c1", 4, POPCNT}, {"f30fbcc1", 4, POPCNT}, {"f30fbdc1", 4, POPCNT},
+	{"0fa4c205", 4, SHLD}, {"0fa5c2", 3, SHLD}, {"0facc205", 4, SHRD},
+	{"0fb011", 3, CMPXCHG}, {"f00fc103", 4, XADD},
+	{"480fc8", 3, BSWAP}, {"410fc9", 3, BSWAP},
+	{"0fc300", 3, MOVNTI},
+	{"0faee8", 3, FENCE}, {"0faef0", 3, FENCE}, {"0faef8", 3, FENCE},
+	{"0fae38", 3, FENCE}, // clflush [rax]
+	{"0f1f00", 3, NOP}, {"0f1f440000", 5, NOP},
+	{"660f1f840000000000", 9, NOP},
+	{"f30f1efa", 4, FNOP}, // endbr64
+	{"0f0d08", 3, PREFETCH},
+	{"0f1808", 3, FNOP}, // prefetch hint group
+	// --- SSE / MMX --------------------------------------------------------------
+	{"0f10c1", 3, MOVUPS}, {"f30f10c1", 4, MOVUPS}, {"f20f1045f0", 5, MOVUPS},
+	{"660f10c1", 4, MOVUPS},
+	{"0f28c1", 3, MOVAPS}, {"660f2900", 4, MOVAPS},
+	{"0f2a c1", 3, CVT}, {"f20f2ac8", 4, CVT}, {"f2480f2ac8", 5, CVT},
+	{"660f2ec1", 4, COMIS},
+	{"0f51c1", 3, SSEAR}, {"f30f58c1", 4, SSEAR}, {"f20f5ec1", 4, SSEAR},
+	{"660f54c1", 4, SSEAR},  // andpd
+	{"0f60c1", 3, PACK},     // punpcklbw mm0, mm1
+	{"660f6ec0", 4, MOVD},   // movd xmm0, eax
+	{"66480f6ec0", 5, MOVD}, // movq xmm0, rax
+	{"660f6fc1", 4, MOVDQ}, {"f30f6f00", 4, MOVDQ},
+	{"660f70c01b", 5, PACK},   // pshufd
+	{"660f73f804", 5, PSHIFT}, // pslldq (grp14 /7... /7 reg form)
+	{"660f73d804", 5, PSHIFT}, // psrldq
+	{"0fc6c102", 4, PACK},     // shufps
+	{"660fc2c101", 5, PCMP},   // cmppd imm
+	{"660fefc1", 4, PARITH},   // pxor
+	{"660ffec1", 4, PARITH},   // paddd
+	{"660fd6c1", 4, MOVQ},     // movq
+	{"0f77", 2, EMMS},
+	{"660fd7c1", 4, MOVMSK}, // pmovmskb
+	{"0f50c1", 3, MOVMSK},   // movmskps
+	// --- three-byte maps -----------------------------------------------------
+	{"660f3840c1", 5, ESC38},   // pmulld
+	{"660f381700", 5, ESC38},   // ptest [rax]
+	{"f20f38f0c1", 5, ESC38},   // crc32
+	{"660f3a0fc108", 6, ESC3A}, // palignr
+	{"660f3a22c001", 6, ESC3A}, // pinsrd
+	// --- VEX -------------------------------------------------------------------
+	{"c5f877", 3, AVX},               // vzeroupper
+	{"c5f1fec2", 4, AVX},             // vpaddd xmm0, xmm1, xmm2
+	{"c5fb104500", 5, AVX},           // vmovsd xmm0, [rbp+0]
+	{"c4e371 0fc204", 6, AVX},        // vpalignr (3A map: +ib)
+	{"c4e27918 05 00000000", 9, AVX}, // vbroadcastss xmm0, [rip]
+	{"c4c17058c0", 5, AVX},           // vaddps xmm0, xmm1, xmm8 (C4 with map=1)
+}
+
+func TestCoverageVectors(t *testing.T) {
+	for _, v := range coverageVectors {
+		clean := strings.ReplaceAll(v.hex, " ", "")
+		code, err := hex.DecodeString(clean)
+		if err != nil {
+			t.Fatalf("bad vector %q: %v", v.hex, err)
+		}
+		inst, err := Decode(code, 0x1000)
+		if err != nil {
+			t.Errorf("Decode(%s): %v", clean, err)
+			continue
+		}
+		if inst.Len != v.len {
+			t.Errorf("Decode(%s): len = %d, want %d", clean, inst.Len, v.len)
+		}
+		if inst.Op != v.op {
+			t.Errorf("Decode(%s): op = %v, want %v", clean, inst.Op, v.op)
+		}
+	}
+}
+
+// TestCoverageExactConsumption: every vector, decoded standalone, must
+// consume exactly its bytes — appending a trailing byte must not change
+// the decode.
+func TestCoverageExactConsumption(t *testing.T) {
+	for _, v := range coverageVectors {
+		clean := strings.ReplaceAll(v.hex, " ", "")
+		code, _ := hex.DecodeString(clean)
+		a, errA := Decode(code, 0)
+		b, errB := Decode(append(append([]byte{}, code...), 0xc3), 0)
+		if errA != nil || errB != nil {
+			continue // reported by TestCoverageVectors
+		}
+		if a.Len != b.Len || a.Op != b.Op {
+			t.Errorf("vector %s: decode changed with trailing byte", clean)
+		}
+	}
+}
+
+// EVEX (AVX-512) length-decoding vectors.
+func TestEVEXVectors(t *testing.T) {
+	cases := []covVec{
+		{"62f17c4858c1", 6, AVX},   // vaddps zmm0, zmm0, zmm1
+		{"62f1fe486f4910", 7, AVX}, // vmovdqu64 zmm1, [rcx+disp8*N]
+		{"62f37d483ac101", 7, AVX}, // map3: +imm8 (vcvtps2ph-like)
+	}
+	for _, v := range cases {
+		code, err := hex.DecodeString(strings.ReplaceAll(v.hex, " ", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Decode(code, 0)
+		if err != nil {
+			t.Errorf("Decode(%s): %v", v.hex, err)
+			continue
+		}
+		if inst.Len != v.len || inst.Op != v.op {
+			t.Errorf("Decode(%s): len=%d op=%v, want %d %v", v.hex, inst.Len, inst.Op, v.len, v.op)
+		}
+	}
+	// Malformed EVEX prefixes stay invalid.
+	for _, bad := range [][]byte{
+		{0x62, 0x08, 0x7c, 0x48, 0x58, 0xc1}, // reserved bit set
+		{0x62, 0xf1, 0x78, 0x48, 0x58, 0xc1}, // p1 fixed bit clear
+		{0x62, 0xf0, 0x7c, 0x48, 0x58, 0xc1}, // map 0
+	} {
+		if _, err := Decode(bad, 0); err == nil {
+			t.Errorf("malformed EVEX % x decoded", bad)
+		}
+	}
+}
+
+// TestOneByteMapComplete sweeps the whole primary opcode map: every byte
+// must either be a prefix/escape, a designed-invalid encoding, or decode
+// successfully when given generous operand bytes. Protects the table
+// against accidental regressions.
+func TestOneByteMapComplete(t *testing.T) {
+	prefixes := map[byte]bool{
+		0x26: true, 0x2e: true, 0x36: true, 0x3e: true, 0x64: true, 0x65: true,
+		0x66: true, 0x67: true, 0xf0: true, 0xf2: true, 0xf3: true,
+	}
+	for b := 0x40; b <= 0x4f; b++ {
+		prefixes[byte(b)] = true
+	}
+	escapes := map[byte]bool{0x0f: true}
+	invalid := map[byte]bool{
+		0x06: true, 0x07: true, 0x0e: true, 0x16: true, 0x17: true,
+		0x1e: true, 0x1f: true, 0x27: true, 0x2f: true, 0x37: true,
+		0x3f: true, 0x60: true, 0x61: true, 0x82: true, 0x9a: true,
+		0xce: true, 0xd4: true, 0xd5: true, 0xd6: true, 0xea: true,
+	}
+	// Opcodes whose canonical form needs specific operand bytes.
+	operands := map[byte][]byte{
+		0x8d: {0x00},                               // lea needs a memory ModRM
+		0x62: {0xf1, 0x7c, 0x48, 0x58, 0xc1},       // EVEX
+		0xc4: {0xe2, 0x79, 0x18, 0x00, 0, 0, 0, 0}, // VEX3
+		0xc5: {0xf8, 0x77},                         // VEX2
+	}
+	pad := []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	for b := 0; b < 256; b++ {
+		op := byte(b)
+		if prefixes[op] || escapes[op] {
+			continue
+		}
+		code := append([]byte{op}, operands[op]...)
+		code = append(code, pad...)
+		_, err := Decode(code, 0x1000)
+		if invalid[op] {
+			if err == nil {
+				t.Errorf("opcode %#02x decoded but is designed-invalid", op)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("opcode %#02x failed to decode: %v", op, err)
+		}
+	}
+}
+
+// TestTwoByteMapComplete: every two-byte map entry marked valid must
+// decode with generous operands; every invalid entry must fail.
+func TestTwoByteMapComplete(t *testing.T) {
+	operands := map[byte][]byte{
+		0xb2: {0x00}, 0xb4: {0x00}, 0xb5: {0x00}, // mem-only (lss/lfs/lgs)
+		0xba: {0xe0}, // grp8 needs /4../7 (bt family)
+		0xc7: {0x08}, // grp9 needs /1 with memory (cmpxchg8b)
+	}
+	pad := []byte{0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	for b := 0; b < 256; b++ {
+		op := byte(b)
+		e := twoByte[op]
+		if e.fl&fEscape != 0 {
+			continue
+		}
+		code := append([]byte{0x0f, op}, operands[op]...)
+		code = append(code, pad...)
+		_, err := Decode(code, 0x1000)
+		if e.fl&fInvalid != 0 {
+			if err == nil {
+				t.Errorf("0f %02x decoded but table marks it invalid", op)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("0f %02x failed to decode: %v", op, err)
+		}
+	}
+}

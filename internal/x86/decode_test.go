@@ -1,0 +1,304 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vec is one decoder test vector.
+type vec struct {
+	name  string
+	bytes []byte
+	addr  uint64
+
+	op     Op
+	length int
+	flow   Flow
+	target uint64
+	delta  int32
+}
+
+func TestDecodeVectors(t *testing.T) {
+	vecs := []vec{
+		{name: "nop", bytes: []byte{0x90}, op: NOP, length: 1, flow: FlowSeq},
+		{name: "pause", bytes: []byte{0xf3, 0x90}, op: PAUSE, length: 2, flow: FlowSeq},
+		{name: "nop16", bytes: []byte{0x66, 0x90}, op: NOP, length: 2, flow: FlowSeq},
+		{name: "xchg r8,rax", bytes: []byte{0x49, 0x90}, op: XCHG, length: 2, flow: FlowSeq},
+		{name: "push rbp", bytes: []byte{0x55}, op: PUSH, length: 1, flow: FlowSeq, delta: -8},
+		{name: "pop rbp", bytes: []byte{0x5d}, op: POP, length: 1, flow: FlowSeq, delta: 8},
+		{name: "mov rbp,rsp", bytes: []byte{0x48, 0x89, 0xe5}, op: MOV, length: 3, flow: FlowSeq},
+		{name: "ret", bytes: []byte{0xc3}, op: RET, length: 1, flow: FlowRet, delta: 8},
+		{name: "ret imm", bytes: []byte{0xc2, 0x10, 0x00}, op: RET, length: 3, flow: FlowRet, delta: 0x18},
+		{name: "leave", bytes: []byte{0xc9}, op: LEAVE, length: 1, flow: FlowSeq},
+		{name: "call rel32", bytes: []byte{0xe8, 0x00, 0x00, 0x00, 0x00}, addr: 0x400000,
+			op: CALL, length: 5, flow: FlowCall, target: 0x400005, delta: -8},
+		{name: "call back", bytes: []byte{0xe8, 0xfb, 0xff, 0xff, 0xff}, addr: 0x400010,
+			op: CALL, length: 5, flow: FlowCall, target: 0x400010, delta: -8},
+		{name: "jmp rel8 self", bytes: []byte{0xeb, 0xfe}, addr: 0x1000,
+			op: JMP, length: 2, flow: FlowJump, target: 0x1000},
+		{name: "jmp rel32", bytes: []byte{0xe9, 0x10, 0x00, 0x00, 0x00}, addr: 0x2000,
+			op: JMP, length: 5, flow: FlowJump, target: 0x2015},
+		{name: "je rel8", bytes: []byte{0x74, 0x05}, addr: 0x3000,
+			op: JCC, length: 2, flow: FlowCondJump, target: 0x3007},
+		{name: "jne rel32", bytes: []byte{0x0f, 0x85, 0x00, 0x01, 0x00, 0x00}, addr: 0x100,
+			op: JCC, length: 6, flow: FlowCondJump, target: 0x206},
+		{name: "sub rsp,imm8", bytes: []byte{0x48, 0x83, 0xec, 0x18}, op: SUB, length: 4,
+			flow: FlowSeq, delta: -0x18},
+		{name: "add rsp,imm32", bytes: []byte{0x48, 0x81, 0xc4, 0x00, 0x01, 0x00, 0x00},
+			op: ADD, length: 7, flow: FlowSeq, delta: 0x100},
+		{name: "mov rax,[rbp-8]", bytes: []byte{0x48, 0x8b, 0x45, 0xf8}, op: MOV, length: 4, flow: FlowSeq},
+		{name: "mov [rsp+8],rdi", bytes: []byte{0x48, 0x89, 0x7c, 0x24, 0x08}, op: MOV, length: 5, flow: FlowSeq},
+		{name: "lea rip-rel", bytes: []byte{0x48, 0x8d, 0x05, 0x10, 0x00, 0x00, 0x00}, addr: 0x400000,
+			op: LEA, length: 7, flow: FlowSeq},
+		{name: "mov eax,imm32", bytes: []byte{0xb8, 0x2a, 0x00, 0x00, 0x00}, op: MOV, length: 5, flow: FlowSeq},
+		{name: "movabs", bytes: []byte{0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, op: MOVABS, length: 10, flow: FlowSeq},
+		{name: "mov r8b,imm8", bytes: []byte{0x41, 0xb0, 0x7f}, op: MOV, length: 3, flow: FlowSeq},
+		{name: "push imm32", bytes: []byte{0x68, 0x78, 0x56, 0x34, 0x12}, op: PUSH, length: 5, flow: FlowSeq, delta: -8},
+		{name: "push imm8", bytes: []byte{0x6a, 0x01}, op: PUSH, length: 2, flow: FlowSeq, delta: -8},
+		{name: "test al,imm8", bytes: []byte{0xa8, 0x01}, op: TEST, length: 2, flow: FlowSeq},
+		{name: "grp3 test", bytes: []byte{0xf6, 0xc0, 0x01}, op: TEST, length: 3, flow: FlowSeq},
+		{name: "grp3 mul", bytes: []byte{0xf7, 0xe1}, op: MUL, length: 2, flow: FlowSeq},
+		{name: "grp3 neg", bytes: []byte{0xf7, 0xd8}, op: NEG, length: 2, flow: FlowSeq},
+		{name: "call rax", bytes: []byte{0xff, 0xd0}, op: CALL, length: 2, flow: FlowIndirectCall, delta: -8},
+		{name: "jmp rax", bytes: []byte{0xff, 0xe0}, op: JMP, length: 2, flow: FlowIndirectJump},
+		{name: "jmp table", bytes: []byte{0xff, 0x24, 0xc5, 0x00, 0x10, 0x40, 0x00},
+			op: JMP, length: 7, flow: FlowIndirectJump},
+		{name: "push rm", bytes: []byte{0xff, 0x75, 0xf0}, op: PUSH, length: 3, flow: FlowSeq, delta: -8},
+		{name: "inc rm", bytes: []byte{0xff, 0xc0}, op: INC, length: 2, flow: FlowSeq},
+		{name: "nopl", bytes: []byte{0x0f, 0x1f, 0x40, 0x00}, op: NOP, length: 4, flow: FlowSeq},
+		{name: "nopw big", bytes: []byte{0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+			op: NOP, length: 9, flow: FlowSeq},
+		{name: "syscall", bytes: []byte{0x0f, 0x05}, op: SYSCALL, length: 2, flow: FlowSeq},
+		{name: "ud2", bytes: []byte{0x0f, 0x0b}, op: UD2, length: 2, flow: FlowHalt},
+		{name: "int3", bytes: []byte{0xcc}, op: INT3, length: 1, flow: FlowHalt},
+		{name: "hlt", bytes: []byte{0xf4}, op: HLT, length: 1, flow: FlowHalt},
+		{name: "movzx", bytes: []byte{0x0f, 0xb6, 0xc0}, op: MOVZX, length: 3, flow: FlowSeq},
+		{name: "movsxd", bytes: []byte{0x48, 0x63, 0xd0}, op: MOVSXD, length: 3, flow: FlowSeq},
+		{name: "cmov", bytes: []byte{0x48, 0x0f, 0x44, 0xc1}, op: CMOVCC, length: 4, flow: FlowSeq},
+		{name: "setcc", bytes: []byte{0x0f, 0x94, 0xc0}, op: SETCC, length: 3, flow: FlowSeq},
+		{name: "imul r,rm,imm8", bytes: []byte{0x48, 0x6b, 0xc0, 0x08}, op: IMUL, length: 4, flow: FlowSeq},
+		{name: "imul r,rm", bytes: []byte{0x48, 0x0f, 0xaf, 0xc1}, op: IMUL, length: 4, flow: FlowSeq},
+		{name: "shl rm,imm8", bytes: []byte{0x48, 0xc1, 0xe0, 0x03}, op: SHL, length: 4, flow: FlowSeq},
+		{name: "sar rm,1", bytes: []byte{0x48, 0xd1, 0xf8}, op: SAR, length: 3, flow: FlowSeq},
+		{name: "shr rm,cl", bytes: []byte{0x48, 0xd3, 0xe8}, op: SHR, length: 3, flow: FlowSeq},
+		{name: "cdqe", bytes: []byte{0x48, 0x98}, op: CBW, length: 2, flow: FlowSeq},
+		{name: "cqo", bytes: []byte{0x48, 0x99}, op: CWD, length: 2, flow: FlowSeq},
+		{name: "rep movsb", bytes: []byte{0xf3, 0xa4}, op: MOVS, length: 2, flow: FlowSeq},
+		{name: "rep stosq", bytes: []byte{0xf3, 0x48, 0xab}, op: STOS, length: 3, flow: FlowSeq},
+		{name: "mov rm imm (c7)", bytes: []byte{0xc7, 0x45, 0xfc, 0x00, 0x00, 0x00, 0x00},
+			op: MOV, length: 7, flow: FlowSeq},
+		{name: "mov rm imm16", bytes: []byte{0x66, 0xc7, 0x45, 0xfc, 0x34, 0x12},
+			op: MOV, length: 6, flow: FlowSeq},
+		{name: "enter", bytes: []byte{0xc8, 0x20, 0x00, 0x00}, op: ENTER, length: 4, flow: FlowSeq},
+		{name: "movaps", bytes: []byte{0x0f, 0x28, 0xc1}, op: MOVAPS, length: 3, flow: FlowSeq},
+		{name: "movss load", bytes: []byte{0xf3, 0x0f, 0x10, 0x45, 0xf0}, op: MOVUPS, length: 5, flow: FlowSeq},
+		{name: "pshufd", bytes: []byte{0x66, 0x0f, 0x70, 0xc0, 0x1b}, op: PACK, length: 5, flow: FlowSeq},
+		{name: "psllq imm", bytes: []byte{0x66, 0x0f, 0x73, 0xf0, 0x04}, op: PSHIFT, length: 5, flow: FlowSeq},
+		{name: "sse4 pmulld", bytes: []byte{0x66, 0x0f, 0x38, 0x40, 0xc1}, op: ESC38, length: 5, flow: FlowSeq},
+		{name: "pinsrd", bytes: []byte{0x66, 0x0f, 0x3a, 0x22, 0xc0, 0x01}, op: ESC3A, length: 6, flow: FlowSeq},
+		{name: "vzeroupper", bytes: []byte{0xc5, 0xf8, 0x77}, op: AVX, length: 3, flow: FlowSeq},
+		{name: "vex3 rip", bytes: []byte{0xc4, 0xe2, 0x79, 0x18, 0x05, 0x00, 0x00, 0x00, 0x00},
+			op: AVX, length: 9, flow: FlowSeq},
+		{name: "loop", bytes: []byte{0xe2, 0xfe}, addr: 0x500, op: LOOP, length: 2, flow: FlowCondJump, target: 0x500},
+		{name: "jrcxz", bytes: []byte{0xe3, 0x02}, addr: 0x500, op: JRCXZ, length: 2, flow: FlowCondJump, target: 0x504},
+		{name: "x87 fld", bytes: []byte{0xd9, 0x45, 0xf8}, op: X87, length: 3, flow: FlowSeq},
+		{name: "x87 reg", bytes: []byte{0xd8, 0xc1}, op: X87, length: 2, flow: FlowSeq},
+		{name: "bt group", bytes: []byte{0x48, 0x0f, 0xba, 0xe0, 0x04}, op: BT, length: 5, flow: FlowSeq},
+		{name: "cmpxchg", bytes: []byte{0xf0, 0x48, 0x0f, 0xb1, 0x0f}, op: CMPXCHG, length: 5, flow: FlowSeq},
+		{name: "pop rm", bytes: []byte{0x8f, 0x45, 0xf8}, op: POP, length: 3, flow: FlowSeq, delta: 8},
+		{name: "xlat", bytes: []byte{0xd7}, op: XLAT, length: 1, flow: FlowSeq},
+		{name: "moffs load", bytes: []byte{0xa1, 1, 2, 3, 4, 5, 6, 7, 8}, op: MOVMOFFS, length: 9, flow: FlowSeq},
+		{name: "cpuid", bytes: []byte{0x0f, 0xa2}, op: CPUID, length: 2, flow: FlowSeq},
+		{name: "endbr-like f3 0f 1e fa", bytes: []byte{0xf3, 0x0f, 0x1e, 0xfa}, op: FNOP, length: 4, flow: FlowSeq},
+	}
+	for _, v := range vecs {
+		t.Run(v.name, func(t *testing.T) {
+			inst, err := Decode(v.bytes, v.addr)
+			if err != nil {
+				t.Fatalf("Decode(% x) error: %v", v.bytes, err)
+			}
+			if inst.Op != v.op {
+				t.Errorf("op = %v, want %v", inst.Op, v.op)
+			}
+			if inst.Len != v.length {
+				t.Errorf("len = %d, want %d", inst.Len, v.length)
+			}
+			if inst.Flow != v.flow {
+				t.Errorf("flow = %v, want %v", inst.Flow, v.flow)
+			}
+			if v.target != 0 || inst.Flow == FlowJump || inst.Flow == FlowCall || inst.Flow == FlowCondJump {
+				if inst.Target != v.target {
+					t.Errorf("target = %#x, want %#x", inst.Target, v.target)
+				}
+			}
+			if inst.StackDelta != v.delta {
+				t.Errorf("stack delta = %d, want %d", inst.StackDelta, v.delta)
+			}
+		})
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	bad := [][]byte{
+		{0x06}, {0x07}, {0x0e}, {0x16}, {0x17}, {0x1e}, {0x1f},
+		{0x27}, {0x2f}, {0x37}, {0x3f},
+		{0x60}, {0x61}, {0x62, 0x00, 0x00, 0x00},
+		{0x82, 0xc0, 0x01}, {0x9a},
+		{0xd4, 0x0a}, {0xd5, 0x0a}, {0xd6}, {0xea},
+		{0x8d, 0xc0},             // lea with register operand
+		{0x8f, 0xc8},             // grp1A reg != 0
+		{0xfe, 0xd0},             // grp4 reg=2
+		{0xff, 0xf8},             // grp5 reg=7
+		{0xc6, 0x4d, 0x00, 0x01}, // grp11 reg != 0
+		{0x0f, 0x04},             // undefined two-byte
+		{0x0f, 0xff, 0xc0},       // ud0
+		{0x0f, 0xba, 0xc0, 0x01}, // grp8 reg < 4
+		{0x0f, 0x71, 0x00, 0x01}, // vector shift with memory operand
+		{0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+			0x66, 0x66, 0x66, 0x66, 0x66, 0x90}, // > 15 bytes
+	}
+	for _, b := range bad {
+		if inst, err := Decode(b, 0); err == nil {
+			t.Errorf("Decode(% x) = %v; want error", b, inst.Op)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := [][]byte{
+		{0xe8, 0x00, 0x00, 0x00, 0x00},
+		{0x48, 0x8b, 0x45, 0xf8},
+		{0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8},
+		{0xff, 0x24, 0xc5, 0x00, 0x10, 0x40, 0x00},
+		{0x66, 0x0f, 0x3a, 0x22, 0xc0, 0x01},
+	}
+	for _, b := range full {
+		for n := 0; n < len(b); n++ {
+			if _, err := Decode(b[:n], 0); err == nil {
+				t.Errorf("Decode(% x) succeeded on %d-byte prefix", b, n)
+			}
+		}
+		if _, err := Decode(b, 0); err != nil {
+			t.Errorf("Decode(% x) full: %v", b, err)
+		}
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	// mov rax, [rbp-8]
+	inst, err := Decode([]byte{0x48, 0x8b, 0x45, 0xf8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.HasMem || inst.Mem.Base != RBP || inst.Mem.Disp != -8 {
+		t.Errorf("mem = %+v, want [rbp-8]", inst.Mem)
+	}
+	if inst.Writes&RAX.Bit() == 0 {
+		t.Errorf("rax not written: writes=%b", inst.Writes)
+	}
+	if inst.Reads&RBP.Bit() == 0 {
+		t.Errorf("rbp not read: reads=%b", inst.Reads)
+	}
+
+	// jmp [rcx*8+0x401000]
+	inst, err = Decode([]byte{0xff, 0x24, 0xcd, 0x00, 0x10, 0x40, 0x00}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Mem{Index: RCX, Scale: 8, Disp: 0x401000}
+	if inst.Mem != want {
+		t.Errorf("mem = %+v, want %+v", inst.Mem, want)
+	}
+	if inst.Mem.Base != RegNone {
+		t.Errorf("table operand should have no base register, got %v", inst.Mem.Base)
+	}
+
+	// lea rax, [rip+0x10] at 0x400000
+	inst, err = Decode([]byte{0x48, 0x8d, 0x05, 0x10, 0x00, 0x00, 0x00}, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := inst.MemAddr()
+	if !ok || addr != 0x400017 {
+		t.Errorf("MemAddr = %#x,%v; want 0x400017,true", addr, ok)
+	}
+
+	// mov rax, [rsp+rbx*4+0x20]
+	inst, err = Decode([]byte{0x48, 0x8b, 0x44, 0x9c, 0x20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Mem{Base: RSP, Index: RBX, Scale: 4, Disp: 0x20}
+	if inst.Mem != want {
+		t.Errorf("mem = %+v, want %+v", inst.Mem, want)
+	}
+}
+
+func TestRegisterEffects(t *testing.T) {
+	cases := []struct {
+		name   string
+		bytes  []byte
+		reads  uint32
+		writes uint32
+	}{
+		{"mov rbp,rsp", []byte{0x48, 0x89, 0xe5}, RSP.Bit(), RBP.Bit()},
+		{"xor eax,eax", []byte{0x31, 0xc0}, RAX.Bit(), RAX.Bit()},
+		{"cmp rax,rbx", []byte{0x48, 0x39, 0xd8}, RAX.Bit() | RBX.Bit(), 0},
+		{"push r12", []byte{0x41, 0x54}, R12.Bit() | RSP.Bit(), RSP.Bit()},
+		{"pop r13", []byte{0x41, 0x5d}, RSP.Bit(), R13.Bit() | RSP.Bit()},
+		{"mov r9d,imm", []byte{0x41, 0xb9, 1, 0, 0, 0}, 0, R9.Bit()},
+		{"mul rcx", []byte{0x48, 0xf7, 0xe1}, RCX.Bit() | RAX.Bit(), RAX.Bit() | RDX.Bit()},
+		{"lea rdx,[rax+rbx]", []byte{0x48, 0x8d, 0x14, 0x18}, RAX.Bit() | RBX.Bit(), RDX.Bit()},
+		{"inc rdi", []byte{0x48, 0xff, 0xc7}, RDI.Bit(), RDI.Bit()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inst, err := Decode(c.bytes, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inst.Reads != c.reads {
+				t.Errorf("reads = %016b, want %016b", inst.Reads, c.reads)
+			}
+			if inst.Writes != c.writes {
+				t.Errorf("writes = %016b, want %016b", inst.Writes, c.writes)
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanics drives the decoder over random byte soup: it must
+// never panic, and successful decodes must have sane lengths.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 64)
+	for i := 0; i < 20000; i++ {
+		rng.Read(buf)
+		n := 1 + rng.Intn(len(buf))
+		inst, err := Decode(buf[:n], uint64(i))
+		if err != nil {
+			continue
+		}
+		if inst.Len < 1 || inst.Len > MaxInstLen || inst.Len > n {
+			t.Fatalf("bad length %d for % x", inst.Len, buf[:n])
+		}
+		if inst.Flow == FlowInvalid {
+			t.Fatalf("successful decode with invalid flow: % x", buf[:n])
+		}
+	}
+}
+
+// TestDecodeDeterministic re-decodes the same bytes and requires identical
+// results (the decoder must be pure).
+func TestDecodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, 32)
+	for i := 0; i < 2000; i++ {
+		rng.Read(buf)
+		a, errA := Decode(buf, 0x1000)
+		b, errB := Decode(buf, 0x1000)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("nondeterministic decode of % x", buf)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sizedRegName renders a GPR at a given operand size, Intel style.
+func sizedRegName(r Reg, bits uint8) string {
+	if r == RegNone || r == RIP {
+		return r.String()
+	}
+	n := int(r - RAX)
+	base := [16]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+		"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"}[n]
+	if n >= 8 {
+		switch bits {
+		case 8:
+			return base + "b"
+		case 16:
+			return base + "w"
+		case 32:
+			return base + "d"
+		}
+		return base
+	}
+	switch bits {
+	case 8:
+		if n < 4 {
+			return base[:1] + "l"
+		}
+		return base + "l"
+	case 16:
+		return base
+	case 32:
+		return "e" + base
+	}
+	return "r" + base
+}
+
+// String renders the instruction in a compact Intel-like syntax. Operand
+// reconstruction is approximate for grouped SSE/AVX mnemonics; it is meant
+// for listings and debugging, not round-tripping.
+func (i *Inst) String() string {
+	var b strings.Builder
+	if i.Prefix&PrefixLock != 0 {
+		b.WriteString("lock ")
+	}
+	if i.Prefix&PrefixRep != 0 && (i.Op == MOVS || i.Op == STOS || i.Op == LODS || i.Op == INS || i.Op == OUTS) {
+		b.WriteString("rep ")
+	}
+	mn := i.Op.String()
+	switch i.Op {
+	case JCC:
+		mn = "j" + i.Cond.String()
+	case SETCC:
+		mn = "set" + i.Cond.String()
+	case CMOVCC:
+		mn = "cmov" + i.Cond.String()
+	case CBW:
+		switch i.OpSize {
+		case 16:
+			mn = "cbw"
+		case 64:
+			mn = "cdqe"
+		default:
+			mn = "cwde"
+		}
+	case CWD:
+		switch i.OpSize {
+		case 16:
+			mn = "cwd"
+		case 64:
+			mn = "cqo"
+		default:
+			mn = "cdq"
+		}
+	}
+	b.WriteString(mn)
+
+	var args []string
+	switch i.Flow {
+	case FlowJump, FlowCondJump, FlowCall:
+		args = append(args, fmt.Sprintf("0x%x", i.Target))
+	default:
+		dst, src := "", ""
+		switch {
+		case i.MemIsDst && i.HasMem:
+			dst = i.Mem.String()
+		case i.DstReg != RegNone:
+			dst = sizedRegName(i.DstReg, i.OpSize)
+		}
+		switch {
+		case !i.MemIsDst && i.HasMem:
+			src = i.Mem.String()
+		case i.SrcReg != RegNone:
+			src = sizedRegName(i.SrcReg, i.OpSize)
+		}
+		if dst != "" {
+			args = append(args, dst)
+		}
+		if src != "" {
+			args = append(args, src)
+		}
+		if i.HasImm {
+			if i.Imm < 0 {
+				args = append(args, fmt.Sprintf("-0x%x", -i.Imm))
+			} else {
+				args = append(args, fmt.Sprintf("0x%x", i.Imm))
+			}
+		}
+	}
+	if len(args) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(args, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package x86
+
+import "testing"
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		addr  uint64
+		want  string
+	}{
+		{[]byte{0x90}, 0, "nop"},
+		{[]byte{0x55}, 0, "push rbp"},
+		{[]byte{0x41, 0x5d}, 0, "pop r13"},
+		{[]byte{0x48, 0x89, 0xe5}, 0, "mov rbp, rsp"},
+		{[]byte{0x89, 0xd8}, 0, "mov eax, ebx"},
+		{[]byte{0x48, 0x8b, 0x45, 0xf8}, 0, "mov rax, [rbp-0x8]"},
+		{[]byte{0x48, 0x89, 0x7c, 0x24, 0x08}, 0, "mov [rsp+0x8], rdi"},
+		{[]byte{0x48, 0x83, 0xec, 0x18}, 0, "sub rsp, 0x18"},
+		{[]byte{0xb8, 0x2a, 0x00, 0x00, 0x00}, 0, "mov eax, 0x2a"},
+		{[]byte{0x48, 0xc1, 0xe0, 0x03}, 0, "shl rax, 0x3"},
+		{[]byte{0x48, 0xd3, 0xe8}, 0, "shr rax, rcx"},
+		{[]byte{0xe8, 0x00, 0x00, 0x00, 0x00}, 0x400000, "call 0x400005"},
+		{[]byte{0x74, 0x05}, 0x1000, "je 0x1007"},
+		{[]byte{0x0f, 0x8f, 0x10, 0x00, 0x00, 0x00}, 0, "jg 0x16"},
+		{[]byte{0xff, 0xe0}, 0, "jmp rax"},
+		{[]byte{0xff, 0x24, 0xcd, 0x00, 0x10, 0x40, 0x00}, 0, "jmp [rcx*8+0x401000]"},
+		{[]byte{0xc3}, 0, "ret"},
+		{[]byte{0xc2, 0x10, 0x00}, 0, "ret 0x10"},
+		{[]byte{0x0f, 0x94, 0xc0}, 0, "sete al"},
+		{[]byte{0x48, 0x0f, 0x44, 0xc1}, 0, "cmove rax, rcx"},
+		{[]byte{0x48, 0x98}, 0, "cdqe"},
+		{[]byte{0x99}, 0, "cdq"},
+		{[]byte{0x48, 0x8d, 0x05, 0x10, 0x00, 0x00, 0x00}, 0, "lea rax, [rip+0x10]"},
+		{[]byte{0xf0, 0x48, 0x0f, 0xb1, 0x0f}, 0, "lock cmpxchg [rdi], rcx"},
+		{[]byte{0xf3, 0xa4}, 0, "rep movs"},
+		{[]byte{0x0f, 0x05}, 0, "syscall"},
+		{[]byte{0xcc}, 0, "int3"},
+		{[]byte{0x45, 0x31, 0xed}, 0, "xor r13d, r13d"},
+		{[]byte{0x41, 0xb9, 0x01, 0x00, 0x00, 0x00}, 0, "mov r9d, 0x1"},
+		{[]byte{0x6a, 0xfe}, 0, "push -0x2"},
+	}
+	for _, c := range cases {
+		inst, err := Decode(c.bytes, c.addr)
+		if err != nil {
+			t.Errorf("Decode(% x): %v", c.bytes, err)
+			continue
+		}
+		if got := inst.String(); got != c.want {
+			t.Errorf("String(% x) = %q, want %q", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestSizedRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		bits uint8
+		want string
+	}{
+		{RAX, 64, "rax"}, {RAX, 32, "eax"}, {RAX, 16, "ax"}, {RAX, 8, "al"},
+		{RSP, 8, "spl"}, {RBP, 16, "bp"}, {RSI, 32, "esi"},
+		{R8, 64, "r8"}, {R8, 32, "r8d"}, {R8, 16, "r8w"}, {R8, 8, "r8b"},
+		{R15, 32, "r15d"},
+	}
+	for _, c := range cases {
+		if got := sizedRegName(c.r, c.bits); got != c.want {
+			t.Errorf("sizedRegName(%v, %d) = %q, want %q", c.r, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestMemString(t *testing.T) {
+	cases := []struct {
+		m    Mem
+		want string
+	}{
+		{Mem{Base: RBP, Disp: -8}, "[rbp-0x8]"},
+		{Mem{Base: RSP, Disp: 16}, "[rsp+0x10]"},
+		{Mem{Base: RAX}, "[rax]"},
+		{Mem{Index: RCX, Scale: 8, Disp: 0x1000}, "[rcx*8+0x1000]"},
+		{Mem{Base: RBX, Index: RDX, Scale: 4, Disp: 4}, "[rbx+rdx*4+0x4]"},
+		{Mem{Disp: 0x400000}, "[0x400000]"},
+		{Mem{Base: RIP, Disp: 0x10}, "[rip+0x10]"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Mem%+v = %q, want %q", c.m, got, c.want)
+		}
+	}
+}

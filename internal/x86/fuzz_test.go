@@ -1,0 +1,39 @@
+package x86
+
+import "testing"
+
+// FuzzDecode is a native fuzz target: Decode must never panic, and a
+// successful decode must satisfy the basic structural invariants. Run with
+// `go test -fuzz=FuzzDecode ./internal/x86`.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0x90},
+		{0x48, 0x89, 0xe5},
+		{0xe8, 0x00, 0x00, 0x00, 0x00},
+		{0xff, 0x24, 0xc5, 0x00, 0x10, 0x40, 0x00},
+		{0x66, 0x0f, 0x3a, 0x22, 0xc0, 0x01},
+		{0xc4, 0xe2, 0x79, 0x18, 0x05, 0, 0, 0, 0},
+		{0xf0, 0x48, 0x0f, 0xb1, 0x0f},
+		{0x62, 0x01, 0x02, 0x03}, // EVEX prefix byte (invalid here)
+	}
+	for _, s := range seeds {
+		f.Add(s, uint64(0x401000))
+	}
+	f.Fuzz(func(t *testing.T, code []byte, addr uint64) {
+		inst, err := Decode(code, addr)
+		if err != nil {
+			return
+		}
+		if inst.Len < 1 || inst.Len > MaxInstLen || inst.Len > len(code) {
+			t.Fatalf("bad length %d for % x", inst.Len, code)
+		}
+		if inst.Addr != addr {
+			t.Fatalf("addr mismatch")
+		}
+		if inst.Flow == FlowInvalid {
+			t.Fatalf("valid decode with invalid flow")
+		}
+		// String must not panic either.
+		_ = inst.String()
+	})
+}

@@ -1,0 +1,205 @@
+package x86
+
+// Op is an instruction mnemonic. Condition-code families (Jcc, SETcc,
+// CMOVcc) are collapsed into a single Op with the condition carried in
+// Inst.Cond. SSE/MMX/AVX instructions that the pipeline does not reason
+// about individually are grouped into family mnemonics; the raw opcode is
+// always available in Inst.Opcode for statistical models.
+type Op uint16
+
+// Mnemonics.
+const (
+	INVALID Op = iota
+
+	// Data movement.
+	MOV
+	MOVABS
+	MOVZX
+	MOVSX
+	MOVSXD
+	LEA
+	XCHG
+	CMOVCC
+	PUSH
+	POP
+	PUSHF
+	POPF
+	MOVMOFFS
+
+	// Integer arithmetic / logic.
+	ADD
+	ADC
+	SUB
+	SBB
+	AND
+	OR
+	XOR
+	CMP
+	TEST
+	INC
+	DEC
+	NEG
+	NOT
+	MUL
+	IMUL
+	DIV
+	IDIV
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+	RCL
+	RCR
+	SHLD
+	SHRD
+	BT
+	BTS
+	BTR
+	BTC
+	BSF
+	BSR
+	POPCNT
+	BSWAP
+	XADD
+	CMPXCHG
+	CMPXCHG8B
+	CBW
+	CWD
+	SETCC
+	MOVNTI
+
+	// Control flow.
+	JMP
+	JCC
+	CALL
+	RET
+	RETF
+	IRET
+	LOOP
+	LOOPE
+	LOOPNE
+	JRCXZ
+	LEAVE
+	ENTER
+	INT
+	INT1
+	INT3
+	SYSCALL
+	SYSRET
+	SYSENTER
+	SYSEXIT
+	UD1
+	UD2
+	HLT
+
+	// Flags / misc.
+	NOP
+	PAUSE
+	FNOP // reserved-NOP hints (0F 18-1E)
+	PREFETCH
+	CLC
+	STC
+	CMC
+	CLD
+	STD
+	CLI
+	STI
+	LAHF
+	SAHF
+	XLAT
+	CPUID
+	RDTSC
+	RDTSCP
+	RDPMC
+	RDMSR
+	WRMSR
+	FWAIT
+	EMMS
+	FENCE // lfence/mfence/sfence/clflush group (0F AE)
+	SEGOP // mov to/from segment register (8C/8E), lar/lsl, grp6/7
+	CROP  // mov to/from control/debug register
+	VMX   // vmread/vmwrite and friends
+
+	// I/O and strings.
+	IN
+	OUT
+	INS
+	OUTS
+	MOVS
+	CMPS
+	STOS
+	LODS
+	SCAS
+
+	// x87 floating point (D8-DF, decoded generically).
+	X87
+
+	// SSE/MMX families (decoded with exact lengths; semantics grouped).
+	MOVUPS // 0F 10/11 family: movups/movss/movupd/movsd
+	MOVLPS // 0F 12/13
+	UNPCK  // 0F 14/15
+	MOVHPS // 0F 16/17
+	MOVAPS // 0F 28/29
+	CVT    // 0F 2A-2D, 5A/5B conversions
+	COMIS  // 0F 2E/2F ucomis/comis
+	MOVMSK // 0F 50, D7
+	SSEAR  // packed FP arithmetic: sqrt/and/or/add/mul/sub/div/min/max...
+	PACK   // pack/unpack/shuffle integer ops (60-6B, 70 etc.)
+	MOVD   // 0F 6E/7E
+	MOVQ   // 0F D6, F3 0F 7E
+	MOVDQ  // 0F 6F/7F movdqa/movdqu/movq(mmx)
+	PCMP   // packed compares
+	PSHIFT // packed shifts (71-73 imm, D1-D3, E1-E2, F1-F3)
+	PARITH // packed integer arithmetic (D4-FE block)
+	SSEMISC
+	AVX // any VEX-encoded instruction
+	ESC38
+	ESC3A
+)
+
+var opNames = map[Op]string{
+	INVALID: "(bad)",
+	MOV:     "mov", MOVABS: "movabs", MOVZX: "movzx", MOVSX: "movsx",
+	MOVSXD: "movsxd", LEA: "lea", XCHG: "xchg", CMOVCC: "cmov",
+	PUSH: "push", POP: "pop", PUSHF: "pushf", POPF: "popf",
+	MOVMOFFS: "mov",
+	ADD:      "add", ADC: "adc", SUB: "sub", SBB: "sbb", AND: "and",
+	OR: "or", XOR: "xor", CMP: "cmp", TEST: "test",
+	INC: "inc", DEC: "dec", NEG: "neg", NOT: "not",
+	MUL: "mul", IMUL: "imul", DIV: "div", IDIV: "idiv",
+	SHL: "shl", SHR: "shr", SAR: "sar", ROL: "rol", ROR: "ror",
+	RCL: "rcl", RCR: "rcr", SHLD: "shld", SHRD: "shrd",
+	BT: "bt", BTS: "bts", BTR: "btr", BTC: "btc",
+	BSF: "bsf", BSR: "bsr", POPCNT: "popcnt", BSWAP: "bswap",
+	XADD: "xadd", CMPXCHG: "cmpxchg", CMPXCHG8B: "cmpxchg8b",
+	CBW: "cbw", CWD: "cwd", SETCC: "set", MOVNTI: "movnti",
+	JMP: "jmp", JCC: "j", CALL: "call", RET: "ret", RETF: "retf",
+	IRET: "iret", LOOP: "loop", LOOPE: "loope", LOOPNE: "loopne",
+	JRCXZ: "jrcxz", LEAVE: "leave", ENTER: "enter",
+	INT: "int", INT1: "int1", INT3: "int3",
+	SYSCALL: "syscall", SYSRET: "sysret", SYSENTER: "sysenter",
+	SYSEXIT: "sysexit", UD1: "ud1", UD2: "ud2", HLT: "hlt",
+	NOP: "nop", PAUSE: "pause", FNOP: "nop.hint", PREFETCH: "prefetch",
+	CLC: "clc", STC: "stc", CMC: "cmc", CLD: "cld", STD: "std",
+	CLI: "cli", STI: "sti", LAHF: "lahf", SAHF: "sahf", XLAT: "xlat",
+	CPUID: "cpuid", RDTSC: "rdtsc", RDTSCP: "rdtscp", RDPMC: "rdpmc",
+	RDMSR: "rdmsr", WRMSR: "wrmsr", FWAIT: "fwait", EMMS: "emms",
+	FENCE: "fence", SEGOP: "segop", CROP: "crop", VMX: "vmx",
+	IN: "in", OUT: "out", INS: "ins", OUTS: "outs",
+	MOVS: "movs", CMPS: "cmps", STOS: "stos", LODS: "lods", SCAS: "scas",
+	X87:    "x87",
+	MOVUPS: "movups", MOVLPS: "movlps", UNPCK: "unpck", MOVHPS: "movhps",
+	MOVAPS: "movaps", CVT: "cvt", COMIS: "comis", MOVMSK: "movmsk",
+	SSEAR: "ssear", PACK: "pack", MOVD: "movd", MOVQ: "movq",
+	MOVDQ: "movdq", PCMP: "pcmp", PSHIFT: "pshift", PARITH: "parith",
+	SSEMISC: "ssemisc", AVX: "avx", ESC38: "esc38", ESC3A: "esc3a",
+}
+
+// String returns the mnemonic text.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}

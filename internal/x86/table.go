@@ -1,0 +1,398 @@
+package x86
+
+// immKind describes the immediate/displacement tail of an encoding.
+type immKind uint8
+
+const (
+	immNone  immKind = iota
+	imm8             // ib
+	imm16            // iw
+	imm32            // id (fixed 32)
+	immZ             // iz: 16 with 66 prefix, else 32
+	immV             // iv: 16/32/64 by effective operand size (mov r, imm)
+	imm16_8          // enter: iw then ib
+	immMoffs         // moffs: 8 bytes (4 with 67)
+	rel8             // signed 8-bit branch displacement
+	rel32            // signed 32-bit branch displacement
+)
+
+// argPattern describes operand roles for register read/write extraction.
+type argPattern uint8
+
+const (
+	aNone   argPattern = iota
+	aMR                // rm = dst, reg = src (add rm, r)
+	aRM                // reg = dst, rm = src (add r, rm)
+	aMI                // rm = dst, imm = src (mov rm, imm)
+	aM                 // rm unary read-modify-write (inc rm)
+	aMRead             // rm read only (push rm, x87 loads, jmp rm)
+	aMWrite            // rm write only (pop rm, setcc rm)
+	aO                 // register in low 3 opcode bits, read (push r)
+	aOW                // register in low 3 opcode bits, written (pop r, bswap)
+	aOI                // opcode register = dst, imm (mov r, imm)
+	aAI                // rax = dst and src, imm (add rax, imm)
+	aI                 // immediate only
+	aMC                // rm = dst, cl read (shift rm, cl)
+	aXA                // xchg rax, r (both RW)
+)
+
+// entry flags.
+const (
+	fModRM   uint16 = 1 << iota // has a ModRM byte
+	fMemOnly                    // ModRM mod=11 is invalid (lea)
+	fByte                       // 8-bit operand size
+	fDef64                      // default 64-bit operand size (push/pop/branches)
+	fRare                       // essentially never in compiled code
+	fNoDstW                     // pattern's dst is not written (cmp, test, bt)
+	fRMW                        // dst is also read (add vs mov)
+	fPrefix                     // byte is a prefix, not an opcode
+	fGroup                      // ModRM.reg selects the operation
+	fEscape                     // opcode-map escape byte
+	fInvalid                    // undefined in 64-bit mode
+)
+
+type entry struct {
+	op   Op
+	flow Flow
+	fl   uint16
+	imm  immKind
+	args argPattern
+}
+
+func inv() entry    { return entry{op: INVALID, flow: FlowInvalid, fl: fInvalid} }
+func prefix() entry { return entry{fl: fPrefix} }
+
+// arith builds the classic 6-opcode arithmetic block (00-05 layout).
+func arith(op Op, idx byte, noW bool) entry {
+	e := entry{op: op, fl: fRMW}
+	if noW {
+		e.fl = fNoDstW
+	}
+	switch idx {
+	case 0:
+		e.fl |= fModRM | fByte
+		e.args = aMR
+	case 1:
+		e.fl |= fModRM
+		e.args = aMR
+	case 2:
+		e.fl |= fModRM | fByte
+		e.args = aRM
+	case 3:
+		e.fl |= fModRM
+		e.args = aRM
+	case 4:
+		e.fl |= fByte
+		e.args = aAI
+		e.imm = imm8
+	case 5:
+		e.args = aAI
+		e.imm = immZ
+	}
+	return e
+}
+
+// oneByte is the primary opcode map for 64-bit mode.
+var oneByte = buildOneByte()
+
+func buildOneByte() [256]entry {
+	var t [256]entry
+	set := func(b byte, e entry) { t[b] = e }
+
+	blocks := []struct {
+		base byte
+		op   Op
+		noW  bool
+	}{
+		{0x00, ADD, false}, {0x08, OR, false}, {0x10, ADC, false},
+		{0x18, SBB, false}, {0x20, AND, false}, {0x28, SUB, false},
+		{0x30, XOR, false}, {0x38, CMP, true},
+	}
+	for _, blk := range blocks {
+		for i := byte(0); i < 6; i++ {
+			set(blk.base+i, arith(blk.op, i, blk.noW))
+		}
+	}
+	// Invalid legacy push/pop seg, BCD ops.
+	for _, b := range []byte{0x06, 0x07, 0x0e, 0x16, 0x17, 0x1e, 0x1f,
+		0x27, 0x2f, 0x37, 0x3f, 0x60, 0x61, 0x82, 0x9a,
+		0x62,       // handled specially as EVEX by the decoder
+		0xc4, 0xc5, // handled specially as VEX by the decoder
+		0xce, 0xd4, 0xd5, 0xd6, 0xea} {
+		set(b, inv())
+	}
+	set(0x0f, entry{fl: fEscape})
+	// Segment/size prefixes and REX.
+	for _, b := range []byte{0x26, 0x2e, 0x36, 0x3e, 0x64, 0x65, 0x66, 0x67,
+		0xf0, 0xf2, 0xf3} {
+		set(b, prefix())
+	}
+	for b := 0x40; b <= 0x4f; b++ {
+		set(byte(b), prefix())
+	}
+
+	for b := byte(0x50); b <= 0x57; b++ {
+		set(b, entry{op: PUSH, fl: fDef64, args: aO})
+	}
+	for b := byte(0x58); b <= 0x5f; b++ {
+		set(b, entry{op: POP, fl: fDef64, args: aOW})
+	}
+	set(0x63, entry{op: MOVSXD, fl: fModRM, args: aRM})
+	set(0x68, entry{op: PUSH, fl: fDef64, imm: immZ, args: aI})
+	set(0x69, entry{op: IMUL, fl: fModRM, imm: immZ, args: aRM})
+	set(0x6a, entry{op: PUSH, fl: fDef64, imm: imm8, args: aI})
+	set(0x6b, entry{op: IMUL, fl: fModRM, imm: imm8, args: aRM})
+	set(0x6c, entry{op: INS, fl: fRare | fByte})
+	set(0x6d, entry{op: INS, fl: fRare})
+	set(0x6e, entry{op: OUTS, fl: fRare | fByte})
+	set(0x6f, entry{op: OUTS, fl: fRare})
+	for b := byte(0x70); b <= 0x7f; b++ {
+		set(b, entry{op: JCC, flow: FlowCondJump, imm: rel8})
+	}
+	set(0x80, entry{fl: fModRM | fGroup | fByte, imm: imm8})
+	set(0x81, entry{fl: fModRM | fGroup, imm: immZ})
+	set(0x83, entry{fl: fModRM | fGroup, imm: imm8})
+	set(0x84, entry{op: TEST, fl: fModRM | fByte | fNoDstW, args: aMR})
+	set(0x85, entry{op: TEST, fl: fModRM | fNoDstW, args: aMR})
+	set(0x86, entry{op: XCHG, fl: fModRM | fByte | fRMW, args: aMR})
+	set(0x87, entry{op: XCHG, fl: fModRM | fRMW, args: aMR})
+	set(0x88, entry{op: MOV, fl: fModRM | fByte, args: aMR})
+	set(0x89, entry{op: MOV, fl: fModRM, args: aMR})
+	set(0x8a, entry{op: MOV, fl: fModRM | fByte, args: aRM})
+	set(0x8b, entry{op: MOV, fl: fModRM, args: aRM})
+	set(0x8c, entry{op: SEGOP, fl: fModRM | fRare, args: aMWrite})
+	set(0x8d, entry{op: LEA, fl: fModRM | fMemOnly, args: aRM})
+	set(0x8e, entry{op: SEGOP, fl: fModRM | fRare, args: aMRead})
+	set(0x8f, entry{fl: fModRM | fGroup | fDef64}) // grp1A: pop rm
+	set(0x90, entry{op: NOP})
+	for b := byte(0x91); b <= 0x97; b++ {
+		set(b, entry{op: XCHG, args: aXA})
+	}
+	set(0x98, entry{op: CBW})
+	set(0x99, entry{op: CWD})
+	set(0x9b, entry{op: FWAIT})
+	set(0x9c, entry{op: PUSHF, fl: fDef64})
+	set(0x9d, entry{op: POPF, fl: fDef64})
+	set(0x9e, entry{op: SAHF, fl: fRare})
+	set(0x9f, entry{op: LAHF, fl: fRare})
+	set(0xa0, entry{op: MOVMOFFS, fl: fByte | fRare, imm: immMoffs})
+	set(0xa1, entry{op: MOVMOFFS, fl: fRare, imm: immMoffs})
+	set(0xa2, entry{op: MOVMOFFS, fl: fByte | fRare, imm: immMoffs})
+	set(0xa3, entry{op: MOVMOFFS, fl: fRare, imm: immMoffs})
+	set(0xa4, entry{op: MOVS, fl: fByte})
+	set(0xa5, entry{op: MOVS})
+	set(0xa6, entry{op: CMPS, fl: fByte})
+	set(0xa7, entry{op: CMPS})
+	set(0xa8, entry{op: TEST, fl: fByte | fNoDstW, imm: imm8, args: aAI})
+	set(0xa9, entry{op: TEST, fl: fNoDstW, imm: immZ, args: aAI})
+	set(0xaa, entry{op: STOS, fl: fByte})
+	set(0xab, entry{op: STOS})
+	set(0xac, entry{op: LODS, fl: fByte})
+	set(0xad, entry{op: LODS})
+	set(0xae, entry{op: SCAS, fl: fByte})
+	set(0xaf, entry{op: SCAS})
+	for b := byte(0xb0); b <= 0xb7; b++ {
+		set(b, entry{op: MOV, fl: fByte, imm: imm8, args: aOI})
+	}
+	for b := byte(0xb8); b <= 0xbf; b++ {
+		set(b, entry{op: MOV, imm: immV, args: aOI})
+	}
+	set(0xc0, entry{fl: fModRM | fGroup | fByte, imm: imm8})
+	set(0xc1, entry{fl: fModRM | fGroup, imm: imm8})
+	set(0xc2, entry{op: RET, flow: FlowRet, fl: fDef64, imm: imm16})
+	set(0xc3, entry{op: RET, flow: FlowRet, fl: fDef64})
+	set(0xc6, entry{fl: fModRM | fGroup | fByte, imm: imm8}) // grp11 mov
+	set(0xc7, entry{fl: fModRM | fGroup, imm: immZ})         // grp11 mov
+	set(0xc8, entry{op: ENTER, fl: fRare, imm: imm16_8})
+	set(0xc9, entry{op: LEAVE, fl: fDef64})
+	set(0xca, entry{op: RETF, flow: FlowRet, fl: fRare, imm: imm16})
+	set(0xcb, entry{op: RETF, flow: FlowRet, fl: fRare})
+	set(0xcc, entry{op: INT3, flow: FlowHalt})
+	set(0xcd, entry{op: INT, flow: FlowSeq, fl: fRare, imm: imm8})
+	set(0xcf, entry{op: IRET, flow: FlowRet, fl: fRare})
+	set(0xd0, entry{fl: fModRM | fGroup | fByte})
+	set(0xd1, entry{fl: fModRM | fGroup})
+	set(0xd2, entry{fl: fModRM | fGroup | fByte}) // shift by cl
+	set(0xd3, entry{fl: fModRM | fGroup})
+	set(0xd7, entry{op: XLAT, fl: fRare})
+	for b := byte(0xd8); b <= 0xdf; b++ {
+		set(b, entry{op: X87, fl: fModRM, args: aMRead})
+	}
+	set(0xe0, entry{op: LOOPNE, flow: FlowCondJump, imm: rel8})
+	set(0xe1, entry{op: LOOPE, flow: FlowCondJump, imm: rel8})
+	set(0xe2, entry{op: LOOP, flow: FlowCondJump, imm: rel8})
+	set(0xe3, entry{op: JRCXZ, flow: FlowCondJump, imm: rel8})
+	set(0xe4, entry{op: IN, fl: fRare | fByte, imm: imm8})
+	set(0xe5, entry{op: IN, fl: fRare, imm: imm8})
+	set(0xe6, entry{op: OUT, fl: fRare | fByte, imm: imm8})
+	set(0xe7, entry{op: OUT, fl: fRare, imm: imm8})
+	set(0xe8, entry{op: CALL, flow: FlowCall, fl: fDef64, imm: rel32})
+	set(0xe9, entry{op: JMP, flow: FlowJump, fl: fDef64, imm: rel32})
+	set(0xeb, entry{op: JMP, flow: FlowJump, fl: fDef64, imm: rel8})
+	set(0xec, entry{op: IN, fl: fRare | fByte})
+	set(0xed, entry{op: IN, fl: fRare})
+	set(0xee, entry{op: OUT, fl: fRare | fByte})
+	set(0xef, entry{op: OUT, fl: fRare})
+	set(0xf1, entry{op: INT1, flow: FlowHalt, fl: fRare})
+	set(0xf4, entry{op: HLT, flow: FlowHalt, fl: fRare})
+	set(0xf5, entry{op: CMC})
+	set(0xf6, entry{fl: fModRM | fGroup | fByte}) // grp3
+	set(0xf7, entry{fl: fModRM | fGroup})         // grp3
+	set(0xf8, entry{op: CLC})
+	set(0xf9, entry{op: STC})
+	set(0xfa, entry{op: CLI, fl: fRare})
+	set(0xfb, entry{op: STI, fl: fRare})
+	set(0xfc, entry{op: CLD})
+	set(0xfd, entry{op: STD})
+	set(0xfe, entry{fl: fModRM | fGroup | fByte}) // grp4
+	set(0xff, entry{fl: fModRM | fGroup})         // grp5
+	return t
+}
+
+// twoByte is the 0F-escape opcode map. Entries not set are invalid.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]entry {
+	var t [256]entry
+	for i := range t {
+		t[i] = inv()
+	}
+	set := func(b byte, e entry) { t[b] = e }
+	// sse marks an SSE/MMX op: ModRM, optional imm, register effects are
+	// irrelevant to the integer analyses (vector regs), but base/index of
+	// memory operands still count as reads via the shared ModRM path.
+	sse := func(op Op, im immKind) entry {
+		return entry{op: op, fl: fModRM, imm: im, args: aMRead}
+	}
+
+	set(0x00, entry{op: SEGOP, fl: fModRM | fGroup | fRare})
+	set(0x01, entry{op: SEGOP, fl: fModRM | fGroup | fRare})
+	set(0x02, entry{op: SEGOP, fl: fModRM | fRare, args: aRM})
+	set(0x03, entry{op: SEGOP, fl: fModRM | fRare, args: aRM})
+	set(0x05, entry{op: SYSCALL})
+	set(0x06, entry{op: SEGOP, fl: fRare})
+	set(0x07, entry{op: SYSRET, flow: FlowRet, fl: fRare})
+	set(0x08, entry{op: SEGOP, fl: fRare})
+	set(0x09, entry{op: SEGOP, fl: fRare})
+	set(0x0b, entry{op: UD2, flow: FlowHalt})
+	set(0x0d, entry{op: PREFETCH, fl: fModRM, args: aMRead})
+	set(0x10, sse(MOVUPS, immNone))
+	set(0x11, sse(MOVUPS, immNone))
+	set(0x12, sse(MOVLPS, immNone))
+	set(0x13, sse(MOVLPS, immNone))
+	set(0x14, sse(UNPCK, immNone))
+	set(0x15, sse(UNPCK, immNone))
+	set(0x16, sse(MOVHPS, immNone))
+	set(0x17, sse(MOVHPS, immNone))
+	for b := byte(0x18); b <= 0x1e; b++ {
+		set(b, entry{op: FNOP, fl: fModRM, args: aMRead})
+	}
+	set(0x1f, entry{op: NOP, fl: fModRM, args: aMRead})
+	for b := byte(0x20); b <= 0x23; b++ {
+		set(b, entry{op: CROP, fl: fModRM | fRare})
+	}
+	set(0x28, sse(MOVAPS, immNone))
+	set(0x29, sse(MOVAPS, immNone))
+	set(0x2a, sse(CVT, immNone))
+	set(0x2b, sse(MOVAPS, immNone)) // movntps
+	set(0x2c, sse(CVT, immNone))
+	set(0x2d, sse(CVT, immNone))
+	set(0x2e, sse(COMIS, immNone))
+	set(0x2f, sse(COMIS, immNone))
+	set(0x30, entry{op: WRMSR, fl: fRare})
+	set(0x31, entry{op: RDTSC})
+	set(0x32, entry{op: RDMSR, fl: fRare})
+	set(0x33, entry{op: RDPMC, fl: fRare})
+	set(0x34, entry{op: SYSENTER, fl: fRare})
+	set(0x35, entry{op: SYSEXIT, flow: FlowRet, fl: fRare})
+	set(0x38, entry{fl: fEscape})
+	set(0x3a, entry{fl: fEscape})
+	for b := byte(0x40); b <= 0x4f; b++ {
+		set(b, entry{op: CMOVCC, fl: fModRM | fRMW, args: aRM})
+	}
+	set(0x50, entry{op: MOVMSK, fl: fModRM, args: aMWrite})
+	for b := byte(0x51); b <= 0x5f; b++ {
+		set(b, sse(SSEAR, immNone))
+	}
+	for b := byte(0x60); b <= 0x6d; b++ {
+		set(b, sse(PACK, immNone))
+	}
+	set(0x6e, entry{op: MOVD, fl: fModRM, args: aMRead})
+	set(0x6f, sse(MOVDQ, immNone))
+	set(0x70, sse(PACK, imm8))
+	set(0x71, entry{op: PSHIFT, fl: fModRM | fGroup, imm: imm8})
+	set(0x72, entry{op: PSHIFT, fl: fModRM | fGroup, imm: imm8})
+	set(0x73, entry{op: PSHIFT, fl: fModRM | fGroup, imm: imm8})
+	set(0x74, sse(PCMP, immNone))
+	set(0x75, sse(PCMP, immNone))
+	set(0x76, sse(PCMP, immNone))
+	set(0x77, entry{op: EMMS})
+	set(0x78, entry{op: VMX, fl: fModRM | fRare})
+	set(0x79, entry{op: VMX, fl: fModRM | fRare})
+	set(0x7c, sse(SSEAR, immNone))
+	set(0x7d, sse(SSEAR, immNone))
+	set(0x7e, entry{op: MOVD, fl: fModRM, args: aMWrite})
+	set(0x7f, sse(MOVDQ, immNone))
+	for b := byte(0x80); b <= 0x8f; b++ {
+		set(b, entry{op: JCC, flow: FlowCondJump, fl: fDef64, imm: rel32})
+	}
+	for b := byte(0x90); b <= 0x9f; b++ {
+		set(b, entry{op: SETCC, fl: fModRM | fByte, args: aMWrite})
+	}
+	set(0xa0, entry{op: PUSH, fl: fRare | fDef64})
+	set(0xa1, entry{op: POP, fl: fRare | fDef64})
+	set(0xa2, entry{op: CPUID})
+	set(0xa3, entry{op: BT, fl: fModRM | fNoDstW, args: aMR})
+	set(0xa4, entry{op: SHLD, fl: fModRM | fRMW, imm: imm8, args: aMR})
+	set(0xa5, entry{op: SHLD, fl: fModRM | fRMW, args: aMR})
+	set(0xa8, entry{op: PUSH, fl: fRare | fDef64})
+	set(0xa9, entry{op: POP, fl: fRare | fDef64})
+	set(0xaa, entry{op: SEGOP, fl: fRare}) // rsm
+	set(0xab, entry{op: BTS, fl: fModRM | fRMW, args: aMR})
+	set(0xac, entry{op: SHRD, fl: fModRM | fRMW, imm: imm8, args: aMR})
+	set(0xad, entry{op: SHRD, fl: fModRM | fRMW, args: aMR})
+	set(0xae, entry{op: FENCE, fl: fModRM | fGroup})
+	set(0xaf, entry{op: IMUL, fl: fModRM | fRMW, args: aRM})
+	set(0xb0, entry{op: CMPXCHG, fl: fModRM | fByte | fRMW, args: aMR})
+	set(0xb1, entry{op: CMPXCHG, fl: fModRM | fRMW, args: aMR})
+	set(0xb2, entry{op: SEGOP, fl: fModRM | fMemOnly | fRare, args: aRM})
+	set(0xb3, entry{op: BTR, fl: fModRM | fRMW, args: aMR})
+	set(0xb4, entry{op: SEGOP, fl: fModRM | fMemOnly | fRare, args: aRM})
+	set(0xb5, entry{op: SEGOP, fl: fModRM | fMemOnly | fRare, args: aRM})
+	set(0xb6, entry{op: MOVZX, fl: fModRM, args: aRM})
+	set(0xb7, entry{op: MOVZX, fl: fModRM, args: aRM})
+	set(0xb8, entry{op: POPCNT, fl: fModRM, args: aRM})
+	set(0xb9, entry{op: UD1, flow: FlowHalt, fl: fModRM | fRare})
+	set(0xba, entry{fl: fModRM | fGroup, imm: imm8}) // grp8: bt family, imm
+	set(0xbb, entry{op: BTC, fl: fModRM | fRMW, args: aMR})
+	set(0xbc, entry{op: BSF, fl: fModRM, args: aRM})
+	set(0xbd, entry{op: BSR, fl: fModRM, args: aRM})
+	set(0xbe, entry{op: MOVSX, fl: fModRM, args: aRM})
+	set(0xbf, entry{op: MOVSX, fl: fModRM, args: aRM})
+	set(0xc0, entry{op: XADD, fl: fModRM | fByte | fRMW, args: aMR})
+	set(0xc1, entry{op: XADD, fl: fModRM | fRMW, args: aMR})
+	set(0xc2, sse(PCMP, imm8))
+	set(0xc3, entry{op: MOVNTI, fl: fModRM, args: aMR})
+	set(0xc4, sse(PACK, imm8))
+	set(0xc5, sse(PACK, imm8))
+	set(0xc6, sse(PACK, imm8))
+	set(0xc7, entry{fl: fModRM | fGroup}) // grp9: cmpxchg8b/16b, rdrand...
+	for b := byte(0xc8); b <= 0xcf; b++ {
+		set(b, entry{op: BSWAP, args: aOW})
+	}
+	for b := byte(0xd0); b <= 0xd6; b++ {
+		set(b, sse(PARITH, immNone))
+	}
+	set(0xd6, sse(MOVQ, immNone))
+	set(0xd7, entry{op: MOVMSK, fl: fModRM, args: aMWrite})
+	for b := byte(0xd8); b <= 0xef; b++ {
+		set(b, sse(PARITH, immNone))
+	}
+	set(0xe7, sse(MOVDQ, immNone)) // movntq/movntdq
+	for b := byte(0xf0); b <= 0xfe; b++ {
+		set(b, sse(PARITH, immNone))
+	}
+	set(0xf0, sse(MOVDQ, immNone)) // lddqu
+	// 0xff: UD0 — leave invalid.
+	return t
+}

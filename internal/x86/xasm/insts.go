@@ -1,0 +1,392 @@
+package xasm
+
+import "probedis/internal/x86"
+
+// Reg aliases the decoder's register type so generator code imports one name.
+type Reg = x86.Reg
+
+// Cond aliases the decoder's condition codes.
+type Cond = x86.Cond
+
+// Condition codes for Jcc/Setcc.
+const (
+	O  Cond = 0
+	NO Cond = 1
+	B  Cond = 2
+	AE Cond = 3
+	E  Cond = 4
+	NE Cond = 5
+	BE Cond = 6
+	A  Cond = 7
+	S  Cond = 8
+	NS Cond = 9
+	P  Cond = 10
+	NP Cond = 11
+	L  Cond = 12
+	GE Cond = 13
+	LE Cond = 14
+	G  Cond = 15
+)
+
+// --- moves ---------------------------------------------------------------
+
+// MovRegReg emits mov dst, src at the given width (32 or 64 bits).
+func (a *Asm) MovRegReg(w bool, dst, src Reg) {
+	a.emitRR(w, []byte{0x89}, regN(src), regN(dst))
+}
+
+// MovRegImm32 emits mov dst32, imm (B8+r), zero-extending into dst64.
+func (a *Asm) MovRegImm32(dst Reg, imm uint32) {
+	n := regN(dst)
+	if rex := rexFor(false, 0, 0, n); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	a.buf = append(a.buf, 0xb8|n&7)
+	a.U32(imm)
+}
+
+// MovAbs emits movabs dst, imm64.
+func (a *Asm) MovAbs(dst Reg, imm uint64) {
+	n := regN(dst)
+	a.buf = append(a.buf, rexFor(true, 0, 0, n), 0xb8|n&7)
+	a.U64(imm)
+}
+
+// MovRegMem emits mov dst, [m] at the given width.
+func (a *Asm) MovRegMem(w bool, dst Reg, m Mem) {
+	a.emitRM(w, []byte{0x8b}, regN(dst), m)
+}
+
+// MovMemReg emits mov [m], src at the given width.
+func (a *Asm) MovMemReg(w bool, m Mem, src Reg) {
+	a.emitRM(w, []byte{0x89}, regN(src), m)
+}
+
+// MovMemImm32 emits mov dword/qword [m], imm32 (C7 /0).
+func (a *Asm) MovMemImm32(w bool, m Mem, imm uint32) {
+	a.emitRM(w, []byte{0xc7}, 0, m)
+	a.U32(imm)
+}
+
+// MovzxB emits movzx dst, byte [m or src].
+func (a *Asm) MovzxBReg(dst, src Reg) { a.emitRR(false, []byte{0x0f, 0xb6}, regN(dst), regN(src)) }
+
+// MovzxBMem emits movzx dst32, byte [m].
+func (a *Asm) MovzxBMem(dst Reg, m Mem) { a.emitRM(false, []byte{0x0f, 0xb6}, regN(dst), m) }
+
+// MovsxdRegReg emits movsxd dst64, src32.
+func (a *Asm) MovsxdRegReg(dst, src Reg) { a.emitRR(true, []byte{0x63}, regN(dst), regN(src)) }
+
+// MovsxdRegMem emits movsxd dst64, dword [m].
+func (a *Asm) MovsxdRegMem(dst Reg, m Mem) { a.emitRM(true, []byte{0x63}, regN(dst), m) }
+
+// Lea emits lea dst, [m].
+func (a *Asm) Lea(dst Reg, m Mem) { a.emitRM(true, []byte{0x8d}, regN(dst), m) }
+
+// LeaLabel emits lea dst, [rip+label].
+func (a *Asm) LeaLabel(dst Reg, label string) {
+	n := regN(dst)
+	a.buf = append(a.buf, rexFor(true, n, 0, 0), 0x8d, n&7<<3|5)
+	a.rel32To(label)
+}
+
+// MovRegMemLabel emits mov dst, [rip+label] (64-bit load).
+func (a *Asm) MovRegMemLabel(dst Reg, label string) {
+	n := regN(dst)
+	a.buf = append(a.buf, rexFor(true, n, 0, 0), 0x8b, n&7<<3|5)
+	a.rel32To(label)
+}
+
+// --- stack ---------------------------------------------------------------
+
+// Push emits push r64.
+func (a *Asm) Push(r Reg) {
+	n := regN(r)
+	if rex := rexFor(false, 0, 0, n); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	a.buf = append(a.buf, 0x50|n&7)
+}
+
+// Pop emits pop r64.
+func (a *Asm) Pop(r Reg) {
+	n := regN(r)
+	if rex := rexFor(false, 0, 0, n); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	a.buf = append(a.buf, 0x58|n&7)
+}
+
+// PushImm8 emits push imm8.
+func (a *Asm) PushImm8(v int8) { a.buf = append(a.buf, 0x6a, byte(v)) }
+
+// --- ALU -----------------------------------------------------------------
+
+type AluKind byte
+
+// ALU opcode bases (the /r column of the classic block).
+const (
+	AluAdd AluKind = 0x00
+	AluOr  AluKind = 0x08
+	AluAdc AluKind = 0x10
+	AluSbb AluKind = 0x18
+	AluAnd AluKind = 0x20
+	AluSub AluKind = 0x28
+	AluXor AluKind = 0x30
+	AluCmp AluKind = 0x38
+)
+
+// Alu emits op dst, src (register-register) at the given width.
+func (a *Asm) Alu(w bool, op AluKind, dst, src Reg) {
+	a.emitRR(w, []byte{byte(op) | 0x01}, regN(src), regN(dst))
+}
+
+// AluImm emits op dst, imm choosing the short imm8 form when possible.
+func (a *Asm) AluImm(w bool, op AluKind, dst Reg, imm int32) {
+	ext := byte(op) >> 3 // /digit for the 81/83 group
+	if imm >= -128 && imm <= 127 {
+		a.emitRR(w, []byte{0x83}, ext, regN(dst))
+		a.buf = append(a.buf, byte(int8(imm)))
+		return
+	}
+	a.emitRR(w, []byte{0x81}, ext, regN(dst))
+	a.U32(uint32(imm))
+}
+
+// AluRegMem emits op dst, [m].
+func (a *Asm) AluRegMem(w bool, op AluKind, dst Reg, m Mem) {
+	a.emitRM(w, []byte{byte(op) | 0x03}, regN(dst), m)
+}
+
+// AluMemReg emits op [m], src.
+func (a *Asm) AluMemReg(w bool, op AluKind, m Mem, src Reg) {
+	a.emitRM(w, []byte{byte(op) | 0x01}, regN(src), m)
+}
+
+// TestRegReg emits test dst, src.
+func (a *Asm) TestRegReg(w bool, dst, src Reg) {
+	a.emitRR(w, []byte{0x85}, regN(src), regN(dst))
+}
+
+// CmpRegImm emits cmp dst, imm.
+func (a *Asm) CmpRegImm(w bool, dst Reg, imm int32) { a.AluImm(w, AluCmp, dst, imm) }
+
+// ImulRegReg emits imul dst, src (0F AF).
+func (a *Asm) ImulRegReg(w bool, dst, src Reg) {
+	a.emitRR(w, []byte{0x0f, 0xaf}, regN(dst), regN(src))
+}
+
+// ImulRegRegImm emits imul dst, src, imm32 (69 /r).
+func (a *Asm) ImulRegRegImm(w bool, dst, src Reg, imm int32) {
+	a.emitRR(w, []byte{0x69}, regN(dst), regN(src))
+	a.U32(uint32(imm))
+}
+
+// ShiftImm emits shl/shr/sar dst, imm8. ext: 4=shl, 5=shr, 7=sar, 0=rol, 1=ror.
+func (a *Asm) ShiftImm(w bool, ext byte, dst Reg, imm uint8) {
+	a.emitRR(w, []byte{0xc1}, ext, regN(dst))
+	a.buf = append(a.buf, imm)
+}
+
+// ShiftCL emits shl/shr/sar dst, cl.
+func (a *Asm) ShiftCL(w bool, ext byte, dst Reg) {
+	a.emitRR(w, []byte{0xd3}, ext, regN(dst))
+}
+
+// NegReg emits neg dst.
+func (a *Asm) NegReg(w bool, dst Reg) { a.emitRR(w, []byte{0xf7}, 3, regN(dst)) }
+
+// NotReg emits not dst.
+func (a *Asm) NotReg(w bool, dst Reg) { a.emitRR(w, []byte{0xf7}, 2, regN(dst)) }
+
+// IncReg emits inc dst (FF /0).
+func (a *Asm) IncReg(w bool, dst Reg) { a.emitRR(w, []byte{0xff}, 0, regN(dst)) }
+
+// DecReg emits dec dst (FF /1).
+func (a *Asm) DecReg(w bool, dst Reg) { a.emitRR(w, []byte{0xff}, 1, regN(dst)) }
+
+// Cqo emits cqo (sign-extend rax into rdx).
+func (a *Asm) Cqo() { a.buf = append(a.buf, 0x48, 0x99) }
+
+// IdivReg emits idiv src (F7 /7).
+func (a *Asm) IdivReg(w bool, src Reg) { a.emitRR(w, []byte{0xf7}, 7, regN(src)) }
+
+// Cmov emits cmovcc dst, src (64-bit).
+func (a *Asm) Cmov(c Cond, dst, src Reg) {
+	a.emitRR(true, []byte{0x0f, 0x40 | byte(c)}, regN(dst), regN(src))
+}
+
+// Setcc emits setcc dst8.
+func (a *Asm) Setcc(c Cond, dst Reg) {
+	n := regN(dst)
+	// Always emit REX so sil/dil/bpl/spl encode correctly.
+	a.buf = append(a.buf, rexFor(false, 0, 0, n)|0x40, 0x0f, 0x90|byte(c), 0xc0|n&7)
+}
+
+// --- control flow --------------------------------------------------------
+
+// Ret emits ret.
+func (a *Asm) Ret() { a.buf = append(a.buf, 0xc3) }
+
+// Leave emits leave.
+func (a *Asm) Leave() { a.buf = append(a.buf, 0xc9) }
+
+// CallLabel emits call rel32 to label.
+func (a *Asm) CallLabel(label string) {
+	a.buf = append(a.buf, 0xe8)
+	a.rel32To(label)
+}
+
+// CallReg emits call r64.
+func (a *Asm) CallReg(r Reg) { a.emitRR(false, []byte{0xff}, 2, regN(r)) }
+
+// JmpLabel emits jmp rel32 to label.
+func (a *Asm) JmpLabel(label string) {
+	a.buf = append(a.buf, 0xe9)
+	a.rel32To(label)
+}
+
+// JmpReg emits jmp r64.
+func (a *Asm) JmpReg(r Reg) { a.emitRR(false, []byte{0xff}, 4, regN(r)) }
+
+// JmpMem emits jmp qword [m] (FF /4), e.g. through a jump table.
+func (a *Asm) JmpMem(m Mem) { a.emitRM(false, []byte{0xff}, 4, m) }
+
+// JmpMemIdx emits jmp qword [table + idx*8] where table is an absolute
+// 32-bit address resolved from a label — the classic non-PIC switch form.
+func (a *Asm) JmpMemIdx(idx Reg, table string) {
+	n := regN(idx)
+	if rex := rexFor(false, 0, n, 0); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	// FF /4 with SIB: mod=00 rm=100, sib base=101 (disp32, no base).
+	a.buf = append(a.buf, 0xff, 4<<3|4, 3<<6|n&7<<3|5)
+	a.fixups = append(a.fixups, fixup{at: len(a.buf), kind: fixAbs32, label: table})
+	a.U32(0)
+}
+
+// MovRegMemIdx emits mov dst, [table + idx*8] with table a label (abs32).
+func (a *Asm) MovRegMemIdx(dst, idx Reg, table string) {
+	d, n := regN(dst), regN(idx)
+	a.buf = append(a.buf, rexFor(true, d, n, 0), 0x8b, d&7<<3|4, 3<<6|n&7<<3|5)
+	a.fixups = append(a.fixups, fixup{at: len(a.buf), kind: fixAbs32, label: table})
+	a.U32(0)
+}
+
+// Jcc emits jcc rel32 to label.
+func (a *Asm) Jcc(c Cond, label string) {
+	a.buf = append(a.buf, 0x0f, 0x80|byte(c))
+	a.rel32To(label)
+}
+
+// Syscall emits syscall.
+func (a *Asm) Syscall() { a.buf = append(a.buf, 0x0f, 0x05) }
+
+// Int3 emits int3.
+func (a *Asm) Int3() { a.buf = append(a.buf, 0xcc) }
+
+// Ud2 emits ud2.
+func (a *Asm) Ud2() { a.buf = append(a.buf, 0x0f, 0x0b) }
+
+// Endbr64 emits the endbr64 marker (f3 0f 1e fa), a common prologue byte
+// pattern in modern binaries (decodes as a hint NOP).
+func (a *Asm) Endbr64() { a.buf = append(a.buf, 0xf3, 0x0f, 0x1e, 0xfa) }
+
+// Nop emits n bytes of canonical multi-byte NOP padding (as gas does).
+func (a *Asm) Nop(n int) {
+	for n > 0 {
+		switch {
+		case n >= 9:
+			a.buf = append(a.buf, 0x66, 0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0)
+			n -= 9
+		case n == 8:
+			a.buf = append(a.buf, 0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0)
+			n -= 8
+		case n == 7:
+			a.buf = append(a.buf, 0x0f, 0x1f, 0x80, 0, 0, 0, 0)
+			n -= 7
+		case n == 6:
+			a.buf = append(a.buf, 0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00)
+			n -= 6
+		case n == 5:
+			a.buf = append(a.buf, 0x0f, 0x1f, 0x44, 0x00, 0x00)
+			n -= 5
+		case n == 4:
+			a.buf = append(a.buf, 0x0f, 0x1f, 0x40, 0x00)
+			n -= 4
+		case n == 3:
+			a.buf = append(a.buf, 0x0f, 0x1f, 0x00)
+			n -= 3
+		case n == 2:
+			a.buf = append(a.buf, 0x66, 0x90)
+			n -= 2
+		default:
+			a.buf = append(a.buf, 0x90)
+			n--
+		}
+	}
+}
+
+// --- scalar SSE ----------------------------------------------------------
+
+// Xmm builds an XMM register operand number (0-15) for the SSE emitters.
+type Xmm uint8
+
+// sse emits prefix? 0F op with xmm reg-reg ModRM.
+func (a *Asm) sse(prefix byte, op byte, dst, src Xmm) {
+	if prefix != 0 {
+		a.buf = append(a.buf, prefix)
+	}
+	if rex := rexFor(false, byte(dst), 0, byte(src)); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	a.buf = append(a.buf, 0x0f, op, 0xc0|byte(dst&7)<<3|byte(src&7))
+}
+
+// sseMem emits prefix? 0F op with xmm reg, memory ModRM.
+func (a *Asm) sseMem(prefix byte, op byte, dst Xmm, m Mem) {
+	if prefix != 0 {
+		a.buf = append(a.buf, prefix)
+	}
+	a.emitRM(false, []byte{0x0f, op}, byte(dst), m)
+}
+
+// MovsdLoad emits movsd xmm, qword [m].
+func (a *Asm) MovsdLoad(dst Xmm, m Mem) { a.sseMem(0xf2, 0x10, dst, m) }
+
+// MovsdLoadLabel emits movsd xmm, qword [rip+label].
+func (a *Asm) MovsdLoadLabel(dst Xmm, label string) {
+	a.buf = append(a.buf, 0xf2)
+	if rex := rexFor(false, byte(dst), 0, 0); rex != 0 {
+		a.buf = append(a.buf, rex)
+	}
+	a.buf = append(a.buf, 0x0f, 0x10, byte(dst&7)<<3|5)
+	a.rel32To(label)
+}
+
+// MovsdStore emits movsd qword [m], xmm.
+func (a *Asm) MovsdStore(m Mem, src Xmm) { a.sseMem(0xf2, 0x11, src, m) }
+
+// Addsd emits addsd dst, src.
+func (a *Asm) Addsd(dst, src Xmm) { a.sse(0xf2, 0x58, dst, src) }
+
+// Mulsd emits mulsd dst, src.
+func (a *Asm) Mulsd(dst, src Xmm) { a.sse(0xf2, 0x59, dst, src) }
+
+// Subsd emits subsd dst, src.
+func (a *Asm) Subsd(dst, src Xmm) { a.sse(0xf2, 0x5c, dst, src) }
+
+// Divsd emits divsd dst, src.
+func (a *Asm) Divsd(dst, src Xmm) { a.sse(0xf2, 0x5e, dst, src) }
+
+// Ucomisd emits ucomisd dst, src.
+func (a *Asm) Ucomisd(dst, src Xmm) { a.sse(0x66, 0x2e, dst, src) }
+
+// Cvtsi2sd emits cvtsi2sd dst, src64.
+func (a *Asm) Cvtsi2sd(dst Xmm, src Reg) {
+	a.buf = append(a.buf, 0xf2)
+	a.emitRR(true, []byte{0x0f, 0x2a}, byte(dst), regN(src))
+}
+
+// Pxor emits pxor dst, src (zeroing idiom).
+func (a *Asm) Pxor(dst, src Xmm) { a.sse(0x66, 0xef, dst, src) }

@@ -1,0 +1,149 @@
+package xasm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"probedis/internal/x86"
+)
+
+// genMem produces a random but encodable memory operand.
+func genMem(rng *rand.Rand) Mem {
+	m := Mem{}
+	switch rng.Intn(4) {
+	case 0: // base only
+		m.Base = randReg(rng)
+	case 1: // base + index
+		m.Base = randReg(rng)
+		m.Index = randReg(rng)
+		for m.Index == x86.RSP {
+			m.Index = randReg(rng)
+		}
+		m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+	case 2: // rip-relative
+		m.Base = x86.RIP
+	default: // absolute or index-only
+		if rng.Intn(2) == 0 {
+			m.Index = randReg(rng)
+			for m.Index == x86.RSP {
+				m.Index = randReg(rng)
+			}
+			m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		m.Disp = 0
+	case 1:
+		m.Disp = int64(int8(rng.Uint32()))
+	default:
+		m.Disp = int64(int32(rng.Uint32()))
+	}
+	if m.Base == x86.RegNone && m.Index == x86.RegNone && m.Disp < 0 {
+		m.Disp = -m.Disp // absolute addresses are non-negative
+	}
+	return m
+}
+
+// TestQuickMemRoundTrip: any operand genMem produces must encode (via mov
+// r, [m]) and decode back to exactly the same Mem.
+func TestQuickMemRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 4000,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(genMem(rng))
+			vals[1] = reflect.ValueOf(randReg(rng))
+		},
+	}
+	f := func(m Mem, dst Reg) bool {
+		a := New(0x400000)
+		a.MovRegMem(true, dst, m)
+		code, err := a.Bytes()
+		if err != nil {
+			return false
+		}
+		inst, err := x86.Decode(code, 0x400000)
+		if err != nil || inst.Op != x86.MOV || !inst.HasMem {
+			return false
+		}
+		got := inst.Mem
+		// Canonicalise: an encoded scale of 1 with no index reads back as
+		// zero scale; disp 0 on rbp/r13 is re-encoded as explicit 0.
+		want := m
+		if want.Index == x86.RegNone {
+			want.Scale = 0
+		}
+		if want.Scale == 0 && want.Index != x86.RegNone {
+			want.Scale = 1
+		}
+		if got.Scale == 0 && got.Index != x86.RegNone {
+			got.Scale = 1
+		}
+		return got == want && inst.Len == len(code) && inst.DstReg == dst
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickImmRoundTrip: AluImm picks imm8/imm32 encodings; the decoded
+// immediate must equal the input for any value.
+func TestQuickImmRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 4000,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(int32(rng.Uint32()))
+			vals[1] = reflect.ValueOf(randReg(rng))
+		},
+	}
+	f := func(imm int32, dst Reg) bool {
+		a := New(0)
+		a.AluImm(true, AluAdd, dst, imm)
+		code, err := a.Bytes()
+		if err != nil {
+			return false
+		}
+		inst, err := x86.Decode(code, 0)
+		if err != nil || inst.Op != x86.ADD || !inst.HasImm {
+			return false
+		}
+		return inst.Imm == int64(imm) && inst.DstReg == dst
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBranchTargets: for any two label layouts, the decoded branch
+// target equals the label address.
+func TestQuickBranchTargets(t *testing.T) {
+	f := func(gapRaw uint16, back bool) bool {
+		gap := int(gapRaw % 512)
+		a := New(0x10000)
+		if back {
+			a.Label("target")
+			a.Nop(gap)
+			a.Label("branch")
+			a.JmpLabel("target")
+		} else {
+			a.Label("branch")
+			a.JmpLabel("target")
+			a.Nop(gap)
+			a.Label("target")
+			a.Ret()
+		}
+		code, err := a.Bytes()
+		if err != nil {
+			return false
+		}
+		bOff, _ := a.LabelAddr("branch")
+		tOff, _ := a.LabelAddr("target")
+		inst, err := x86.Decode(code[bOff-0x10000:], bOff)
+		return err == nil && inst.Target == tOff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

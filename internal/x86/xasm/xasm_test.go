@@ -1,0 +1,370 @@
+package xasm
+
+import (
+	"math/rand"
+	"testing"
+
+	"probedis/internal/x86"
+)
+
+// emitOne is one randomized instruction emitter for the round-trip property
+// test. It returns the expected mnemonic (or x86.INVALID for "don't check").
+type emitOne func(a *Asm, rng *rand.Rand) x86.Op
+
+func gprs() []Reg {
+	return []Reg{x86.RAX, x86.RCX, x86.RDX, x86.RBX, x86.RBP, x86.RSI, x86.RDI,
+		x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14, x86.R15}
+}
+
+func randReg(rng *rand.Rand) Reg {
+	g := gprs()
+	return g[rng.Intn(len(g))]
+}
+
+func randMem(rng *rand.Rand) Mem {
+	m := Mem{Base: randReg(rng), Disp: int64(int32(rng.Uint32()) % 4096)}
+	if rng.Intn(2) == 0 {
+		m.Index = randReg(rng)
+		for m.Index == x86.RSP {
+			m.Index = randReg(rng)
+		}
+		m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+	}
+	if rng.Intn(8) == 0 {
+		m.Base = x86.RSP
+	}
+	return m
+}
+
+var emitters = []emitOne{
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovRegReg(rng.Intn(2) == 0, randReg(rng), randReg(rng))
+		return x86.MOV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovRegImm32(randReg(rng), rng.Uint32())
+		return x86.MOV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovAbs(randReg(rng), rng.Uint64())
+		return x86.MOVABS
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovRegMem(true, randReg(rng), randMem(rng))
+		return x86.MOV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovMemReg(false, randMem(rng), randReg(rng))
+		return x86.MOV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovMemImm32(true, randMem(rng), rng.Uint32())
+		return x86.MOV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Lea(randReg(rng), randMem(rng))
+		return x86.LEA
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		ops := []AluKind{AluAdd, AluSub, AluAnd, AluOr, AluXor, AluCmp, AluAdc, AluSbb}
+		a.Alu(rng.Intn(2) == 0, ops[rng.Intn(len(ops))], randReg(rng), randReg(rng))
+		return x86.INVALID // op varies
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.AluImm(true, AluAdd, randReg(rng), int32(rng.Uint32())%100000)
+		return x86.ADD
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.AluRegMem(true, AluSub, randReg(rng), randMem(rng))
+		return x86.SUB
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.AluMemReg(false, AluAdd, randMem(rng), randReg(rng))
+		return x86.ADD
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.TestRegReg(true, randReg(rng), randReg(rng))
+		return x86.TEST
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.ImulRegReg(true, randReg(rng), randReg(rng))
+		return x86.IMUL
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.ImulRegRegImm(true, randReg(rng), randReg(rng), int32(rng.Uint32()))
+		return x86.IMUL
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		exts := []byte{4, 5, 7}
+		mn := []x86.Op{x86.SHL, x86.SHR, x86.SAR}
+		i := rng.Intn(3)
+		a.ShiftImm(true, exts[i], randReg(rng), uint8(rng.Intn(63)+1))
+		return mn[i]
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.ShiftCL(true, 4, randReg(rng))
+		return x86.SHL
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.NegReg(true, randReg(rng))
+		return x86.NEG
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.IncReg(true, randReg(rng))
+		return x86.INC
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Push(randReg(rng))
+		return x86.PUSH
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Pop(randReg(rng))
+		return x86.POP
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Cmov(Cond(rng.Intn(16)), randReg(rng), randReg(rng))
+		return x86.CMOVCC
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Setcc(Cond(rng.Intn(16)), randReg(rng))
+		return x86.SETCC
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovzxBReg(randReg(rng), randReg(rng))
+		return x86.MOVZX
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovsxdRegReg(randReg(rng), randReg(rng))
+		return x86.MOVSXD
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovsxdRegMem(randReg(rng), randMem(rng))
+		return x86.MOVSXD
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Addsd(Xmm(rng.Intn(16)), Xmm(rng.Intn(16)))
+		return x86.SSEAR
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Mulsd(Xmm(rng.Intn(8)), Xmm(rng.Intn(8)))
+		return x86.SSEAR
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.MovsdLoad(Xmm(rng.Intn(16)), randMem(rng))
+		return x86.MOVUPS
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Cvtsi2sd(Xmm(rng.Intn(16)), randReg(rng))
+		return x86.CVT
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Pxor(Xmm(rng.Intn(16)), Xmm(rng.Intn(16)))
+		return x86.PARITH
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.JmpReg(randReg(rng))
+		return x86.JMP
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.CallReg(randReg(rng))
+		return x86.CALL
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.JmpMem(randMem(rng))
+		return x86.JMP
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Cqo()
+		return x86.CWD
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.IdivReg(true, randReg(rng))
+		return x86.IDIV
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Endbr64()
+		return x86.FNOP
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Nop(rng.Intn(12) + 1)
+		return x86.INVALID // several NOPs possible
+	},
+	func(a *Asm, rng *rand.Rand) x86.Op {
+		a.Ret()
+		return x86.RET
+	},
+}
+
+// TestRoundTrip assembles random streams and verifies the decoder recovers
+// exactly the assembled instruction boundaries and (where fixed) mnemonics.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := New(0x401000)
+		type emitted struct {
+			off int
+			op  x86.Op
+		}
+		var insts []emitted
+		for i := 0; i < 50; i++ {
+			e := emitters[rng.Intn(len(emitters))]
+			off := a.Len()
+			op := e(a, rng)
+			if op == x86.INVALID {
+				insts = append(insts, emitted{off, op})
+				continue
+			}
+			insts = append(insts, emitted{off, op})
+		}
+		end := a.Len()
+		code, err := a.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode sequentially from 0; boundaries must match.
+		pos, idx := 0, 0
+		for pos < end {
+			inst, err := x86.Decode(code[pos:], 0x401000+uint64(pos))
+			if err != nil {
+				t.Fatalf("trial %d: decode failed at +%#x: %v (% x)", trial, pos, err,
+					code[pos:min(pos+15, len(code))])
+			}
+			// NOP padding can span multiple decoder instructions; resync on
+			// the recorded boundary list.
+			for idx < len(insts) && insts[idx].off < pos {
+				t.Fatalf("trial %d: decoder crossed boundary %#x (at %#x)",
+					trial, insts[idx].off, pos)
+			}
+			if idx < len(insts) && insts[idx].off == pos {
+				if want := insts[idx].op; want != x86.INVALID && inst.Op != want {
+					t.Fatalf("trial %d at +%#x: op %v, want %v (% x)",
+						trial, pos, inst.Op, want, code[pos:pos+inst.Len])
+				}
+				idx++
+			}
+			pos += inst.Len
+		}
+		if pos != end {
+			t.Fatalf("trial %d: decode ran past end: %d != %d", trial, pos, end)
+		}
+	}
+}
+
+func TestLabelsAndFixups(t *testing.T) {
+	a := New(0x1000)
+	a.Label("start")
+	a.JmpLabel("end") // 5 bytes
+	a.Label("mid")
+	a.Nop(3)
+	a.Label("end")
+	a.Ret()
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := x86.Decode(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endAddr, _ := a.LabelAddr("end")
+	if inst.Target != endAddr {
+		t.Errorf("jmp target %#x, want %#x", inst.Target, endAddr)
+	}
+	if endAddr != 0x1000+5+3 {
+		t.Errorf("end label at %#x", endAddr)
+	}
+}
+
+func TestQuadFixup(t *testing.T) {
+	a := New(0x2000)
+	a.Label("f")
+	a.Ret()
+	a.Nop(7)
+	a.Quad("f")
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(code[8+i]) << (8 * i)
+	}
+	if got != 0x2000 {
+		t.Errorf("quad = %#x, want 0x2000", got)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := New(0)
+	a.JmpLabel("nowhere")
+	if _, err := a.Bytes(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate label")
+		}
+	}()
+	a := New(0)
+	a.Label("x")
+	a.Label("x")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestRemainingEmitters covers emitters not exercised by the randomized
+// round-trip: each must decode to the expected mnemonic and length.
+func TestRemainingEmitters(t *testing.T) {
+	type c struct {
+		emit func(a *Asm)
+		op   x86.Op
+	}
+	cases := []c{
+		{func(a *Asm) { a.MovzxBMem(x86.RAX, Mem{Base: x86.RBX, Disp: 4}) }, x86.MOVZX},
+		{func(a *Asm) { a.PushImm8(-5) }, x86.PUSH},
+		{func(a *Asm) { a.ShiftCL(false, 5, x86.RDX) }, x86.SHR},
+		{func(a *Asm) { a.NotReg(false, x86.RSI) }, x86.NOT},
+		{func(a *Asm) { a.DecReg(true, x86.R9) }, x86.DEC},
+		{func(a *Asm) { a.Leave() }, x86.LEAVE},
+		{func(a *Asm) { a.Syscall() }, x86.SYSCALL},
+		{func(a *Asm) { a.Int3() }, x86.INT3},
+		{func(a *Asm) { a.Ud2() }, x86.UD2},
+		{func(a *Asm) { a.Ucomisd(1, 2) }, x86.COMIS},
+		{func(a *Asm) { a.Subsd(3, 4) }, x86.SSEAR},
+		{func(a *Asm) { a.Divsd(5, 6) }, x86.SSEAR},
+		{func(a *Asm) { a.MovsdStore(Mem{Base: x86.RSP, Disp: -8}, 7) }, x86.MOVUPS},
+		{func(a *Asm) { a.MovMemImm32(false, Mem{Base: x86.RDI}, 9) }, x86.MOV},
+		{func(a *Asm) { a.AluRegMem(false, AluAnd, x86.RCX, Mem{Base: x86.RAX}) }, x86.AND},
+		{func(a *Asm) {
+			a.MovRegMemLabel(x86.RAX, "lbl")
+			a.Label("lbl")
+		}, x86.MOV},
+		{func(a *Asm) {
+			a.MovRegMemIdx(x86.RAX, x86.RCX, "tbl")
+			a.Label("tbl")
+		}, x86.MOV},
+	}
+	for i, c := range cases {
+		a := New(0x1000)
+		c.emit(a)
+		code, err := a.Bytes()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		inst, err := x86.Decode(code, 0x1000)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v (% x)", i, err, code)
+		}
+		if inst.Op != c.op {
+			t.Errorf("case %d: op = %v, want %v (% x)", i, inst.Op, c.op, code)
+		}
+	}
+}
