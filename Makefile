@@ -1,0 +1,20 @@
+# Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
+# end-to-end, so vet and the race detector are part of the baseline gate.
+.PHONY: verify build test race vet bench
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -10,6 +10,7 @@
 package probedis
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"probedis/internal/core"
 	"probedis/internal/correct"
 	"probedis/internal/dis"
+	"probedis/internal/elfx"
 	"probedis/internal/emu"
 	"probedis/internal/eval"
 	"probedis/internal/rewrite"
@@ -272,6 +274,60 @@ func BenchmarkF4ThresholdSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(mid, "err/1k-theta0")
+}
+
+// BenchmarkMultiSectionELF measures the end-to-end ELF pipeline over a
+// many-section binary, serial (workers=1) vs the full worker pool
+// (workers=max). Sections are independent pipeline runs, so with
+// GOMAXPROCS >= 4 the pooled variant should show a multiple-x wall-clock
+// speedup while producing byte-identical output (see
+// core.TestParallelELFPipelineMatchesSerial).
+func BenchmarkMultiSectionELF(b *testing.B) {
+	e := benchSetup(b)
+	const nsec = 8
+	var bld elfx.Builder
+	addr := uint64(0x401000)
+	var total int64
+	for i := 0; i < nsec; i++ {
+		bin, err := synth.Generate(synth.Config{
+			Seed:     int64(700 + i),
+			Profile:  synth.DefaultProfiles[i%len(synth.DefaultProfiles)],
+			NumFuncs: 60,
+			Base:     addr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bld.Entry = bin.Entry
+		}
+		bld.AddSection(fmt.Sprintf(".text%d", i), addr,
+			elfx.SHFAlloc|elfx.SHFExecinstr, bin.Code)
+		total += int64(len(bin.Code))
+		addr = (addr + uint64(len(bin.Code)) + 0xfff) &^ 0xfff
+	}
+	img, err := bld.Write()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d := core.New(e.model, core.WithWorkers(cfg.workers))
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DisassembleELFDetail(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSupersetBuild isolates the superset-decoding substrate.

@@ -23,6 +23,7 @@ func main() {
 	summaryOnly := flag.Bool("summary", false, "print only the per-section summary")
 	showRegions := flag.Bool("regions", false, "print data regions with the analysis that proved each")
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
+	workers := flag.Int("workers", 0, "pipeline worker goroutines: sections and analyses run concurrently (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: disasm [-listing] [-bytes] [-summary] [-model m.pdmd] file.elf")
@@ -47,7 +48,7 @@ func main() {
 	} else {
 		model = core.DefaultModel()
 	}
-	d := core.New(model)
+	d := core.New(model, core.WithWorkers(*workers))
 	secs, err := d.DisassembleELFDetail(img)
 	if err != nil {
 		fatal(err)

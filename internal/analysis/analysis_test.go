@@ -214,3 +214,47 @@ func TestEntryHint(t *testing.T) {
 		t.Errorf("EntryHint(out of range) = %v", h)
 	}
 }
+
+// TestSortHintsTotalOrder: hints tying on priority, score, offset and kind
+// must still sort to one canonical sequence (source, then length, break
+// the tie) no matter what order the — possibly concurrent — analyses
+// emitted them in. sort.Slice is unstable, so anything short of a total
+// key would let the commit order drift run-to-run.
+func TestSortHintsTotalOrder(t *testing.T) {
+	base := []Hint{
+		{Kind: HintCode, Off: 8, Prio: PrioMedium, Score: 4, Src: "prologue"},
+		{Kind: HintCode, Off: 8, Prio: PrioMedium, Score: 4, Src: "calltarget"},
+		{Kind: HintData, Off: 8, Prio: PrioMedium, Score: 4, Len: 8, Src: "fill"},
+		{Kind: HintData, Off: 8, Prio: PrioMedium, Score: 4, Len: 16, Src: "fill"},
+		{Kind: HintData, Off: 8, Prio: PrioMedium, Score: 4, Len: 8, Src: "string"},
+		{Kind: HintCode, Off: 9, Prio: PrioMedium, Score: 4, Src: "prologue"},
+	}
+	var want []Hint
+	want = append(want, base...)
+	SortHints(want)
+
+	// Every rotation of the input must sort to the same sequence.
+	for shift := 0; shift < len(base); shift++ {
+		got := make([]Hint, 0, len(base))
+		got = append(got, base[shift:]...)
+		got = append(got, base[:shift]...)
+		SortHints(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shift %d: hint %d = %+v, want %+v", shift, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The canonical order itself: code before data at one offset, sources
+	// alphabetical, shorter data regions first.
+	wantSrcs := []string{"calltarget", "prologue", "fill", "fill", "string", "prologue"}
+	for i, s := range wantSrcs {
+		if want[i].Src != s {
+			t.Fatalf("canonical order = %+v, want srcs %v", want, wantSrcs)
+		}
+	}
+	if want[2].Len != 8 || want[3].Len != 16 {
+		t.Errorf("len tie-break: %+v", want[2:4])
+	}
+}

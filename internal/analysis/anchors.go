@@ -22,7 +22,10 @@ func EntryHint(g *superset.Graph, entry int) []Hint {
 // data bytes rarely conspire to form multiple consistent calls to one
 // target); single-caller targets are medium evidence.
 func CallTargetHints(g *superset.Graph, viable []bool) []Hint {
-	callers := make(map[int]int)
+	// Counted in a dense slice rather than a map so hints come out in
+	// offset order: map iteration would shuffle the emitted sequence
+	// run-to-run, and hint collection must be deterministic.
+	callers := make([]int32, g.Len())
 	for off := 0; off < g.Len(); off++ {
 		if !viable[off] || g.Insts[off].Flow != x86.FlowCall {
 			continue
@@ -33,6 +36,9 @@ func CallTargetHints(g *superset.Graph, viable []bool) []Hint {
 	}
 	var hs []Hint
 	for t, n := range callers {
+		if n == 0 {
+			continue
+		}
 		prio := PrioMedium
 		if n >= 2 {
 			prio = PrioStrong

@@ -53,18 +53,36 @@ type Hint struct {
 }
 
 // SortHints orders hints for the corrector: by priority, then score, then
-// offset (for determinism).
+// offset, kind, source and length. The key is total — any remaining tie is
+// between byte-identical hints — so the commit order is independent of the
+// order the analyses emitted them in, which is what lets hint collection
+// run on a worker pool without changing results.
 func SortHints(hs []Hint) {
 	sort.Slice(hs, func(i, j int) bool {
-		if hs[i].Prio != hs[j].Prio {
-			return hs[i].Prio > hs[j].Prio
-		}
-		if hs[i].Score != hs[j].Score {
-			return hs[i].Score > hs[j].Score
-		}
-		if hs[i].Off != hs[j].Off {
-			return hs[i].Off < hs[j].Off
-		}
-		return hs[i].Kind < hs[j].Kind
+		return hintLess(&hs[i], &hs[j])
 	})
 }
+
+// hintLess is the total commit-order key shared by SortHints and the
+// corrector's packed-key sort (which falls back to it on key collisions).
+func hintLess(a, b *Hint) bool {
+	if a.Prio != b.Prio {
+		return a.Prio > b.Prio
+	}
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Off != b.Off {
+		return a.Off < b.Off
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Len < b.Len
+}
+
+// Less reports whether a commits before b under the canonical total order.
+func (a Hint) Less(b Hint) bool { return hintLess(&a, &b) }

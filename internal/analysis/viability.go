@@ -1,6 +1,22 @@
 package analysis
 
-import "probedis/internal/superset"
+import (
+	"sync"
+
+	"probedis/internal/superset"
+)
+
+// viaScratch holds the per-run working set of Viability. Pooled because
+// the predecessor table (one slice header per offset plus many small
+// appends) dominates the analysis' allocation churn, and the parallel ELF
+// pipeline runs one Viability per section per binary.
+type viaScratch struct {
+	preds [][]int32
+	work  []int
+	succs []int
+}
+
+var viaPool = sync.Pool{New: func() any { return new(viaScratch) }}
 
 // Viability computes, for every offset, whether an instruction starting
 // there could possibly execute without derailing: an offset is non-viable
@@ -21,11 +37,20 @@ import "probedis/internal/superset"
 func Viability(g *superset.Graph) []bool {
 	n := g.Len()
 	viable := make([]bool, n)
-	// preds[s] lists offsets having s as a forced successor.
-	preds := make([][]int32, n)
-	var work []int // non-viable worklist seeds
 
-	var succs []int
+	sc := viaPool.Get().(*viaScratch)
+	if cap(sc.preds) < n {
+		sc.preds = make([][]int32, n)
+	}
+	// preds[s] lists offsets having s as a forced successor. Entries keep
+	// their backing arrays between runs; only the lengths are reset.
+	preds := sc.preds[:n]
+	for i := range preds {
+		preds[i] = preds[i][:0]
+	}
+	work := sc.work[:0] // non-viable worklist seeds
+
+	succs := sc.succs
 	for off := 0; off < n; off++ {
 		if !g.Valid[off] {
 			work = append(work, off)
@@ -63,5 +88,8 @@ func Viability(g *superset.Graph) []bool {
 			}
 		}
 	}
+
+	sc.work, sc.succs = work, succs
+	viaPool.Put(sc)
 	return viable
 }

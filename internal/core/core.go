@@ -11,6 +11,9 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
 	"probedis/internal/analysis"
 	"probedis/internal/cfg"
 	"probedis/internal/correct"
@@ -49,6 +52,13 @@ func WithFloatRuns() Option { return func(d *Disassembler) { d.useFloatRuns = tr
 // WithWindow sets the scoring window in instructions (default 8).
 func WithWindow(w int) Option { return func(d *Disassembler) { d.window = w } }
 
+// WithWorkers bounds the pipeline's worker pool: ELF section fan-out and
+// the concurrent hint analyses use at most n goroutines. n <= 0 (the
+// default) means GOMAXPROCS; n == 1 forces the fully serial path. The
+// result is byte-identical for every n — parallelism only changes
+// wall-clock time.
+func WithWorkers(n int) Option { return func(d *Disassembler) { d.workers = n } }
+
 // Disassembler is a configured metadata-free disassembly pipeline. It is
 // safe for concurrent use: all per-run state lives on the stack of
 // Disassemble.
@@ -62,6 +72,15 @@ type Disassembler struct {
 	penaltyWeight float64
 	threshold     float64
 	window        int
+	workers       int
+}
+
+// Workers returns the effective worker-pool size (see WithWorkers).
+func (d *Disassembler) Workers() int {
+	if d.workers > 0 {
+		return d.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // New returns a Disassembler using the given trained model. A nil model is
@@ -113,9 +132,14 @@ func (d *Disassembler) DisassembleDetail(code []byte, base uint64, entry int) *D
 func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 	viable := analysis.Viability(g)
 
+	// Scores are consumed by StatHints and the corrector's gap fill and
+	// never escape this call, so the slice cycles through a pool instead
+	// of being reallocated for every section.
 	var scores []float64
 	if d.useStats {
-		scores = d.model.ScoreAll(g, d.window)
+		scores = getScoreBuf(g.Len())
+		defer putScoreBuf(scores)
+		d.model.ScoreAllInto(scores, g, d.window)
 	}
 	hints, tables := d.CollectHints(g, viable, entry, scores)
 	if d.flatPrio {
@@ -162,24 +186,80 @@ func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 // list (unsorted) plus discovered jump tables. scores may be nil when the
 // statistical layer is disabled. Exposed for the convergence experiment,
 // which replays correction with a bounded hint budget.
+//
+// The analyses are mutually independent (all read the immutable graph,
+// viability mask and scores), so they run on the disassembler's worker
+// pool. Their outputs are merged by concatenation in the fixed canonical
+// stage order below — entry, jump tables, call targets, prologues, data
+// patterns, literal pools, float runs, statistics — so the corrector sees
+// exactly the sequence the serial path produced, regardless of which
+// stage finished first.
 func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int, scores []float64) ([]analysis.Hint, []analysis.JumpTable) {
-	var hints []analysis.Hint
-	hints = append(hints, analysis.EntryHint(g, entry)...)
-
 	var tables []analysis.JumpTable
-	if d.useJumpTables {
-		tables = analysis.FindJumpTables(g, viable)
-		hints = append(hints, analysis.JumpTableHints(tables)...)
+
+	stages := []func() []analysis.Hint{
+		func() []analysis.Hint { return analysis.EntryHint(g, entry) },
 	}
-	hints = append(hints, analysis.CallTargetHints(g, viable)...)
-	hints = append(hints, analysis.PrologueHints(g, viable)...)
-	hints = append(hints, analysis.DataPatternHints(g)...)
-	hints = append(hints, analysis.LiteralPoolHints(g, viable)...)
+	if d.useJumpTables {
+		stages = append(stages, func() []analysis.Hint {
+			tables = analysis.FindJumpTables(g, viable)
+			return analysis.JumpTableHints(tables)
+		})
+	}
+	stages = append(stages,
+		func() []analysis.Hint { return analysis.CallTargetHints(g, viable) },
+		func() []analysis.Hint { return analysis.PrologueHints(g, viable) },
+		func() []analysis.Hint { return analysis.DataPatternHints(g) },
+		func() []analysis.Hint { return analysis.LiteralPoolHints(g, viable) },
+	)
 	if d.useFloatRuns {
-		hints = append(hints, analysis.FloatRunHints(g)...)
+		stages = append(stages, func() []analysis.Hint { return analysis.FloatRunHints(g) })
 	}
 	if d.useStats && scores != nil {
-		hints = append(hints, analysis.StatHints(g, viable, scores, d.penaltyWeight, d.threshold)...)
+		stages = append(stages, func() []analysis.Hint {
+			return analysis.StatHints(g, viable, scores, d.penaltyWeight, d.threshold)
+		})
+	}
+
+	parts := make([][]analysis.Hint, len(stages))
+	if workers := d.Workers(); workers <= 1 {
+		for i, stage := range stages {
+			parts[i] = stage()
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, stage := range stages {
+			wg.Add(1)
+			go func(i int, stage func() []analysis.Hint) {
+				defer wg.Done()
+				sem <- struct{}{}
+				parts[i] = stage()
+				<-sem
+			}(i, stage)
+		}
+		wg.Wait()
+	}
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	hints := make([]analysis.Hint, 0, total)
+	for _, p := range parts {
+		hints = append(hints, p...)
 	}
 	return hints, tables
 }
+
+// scorePool recycles per-section score slices (see Disassembler.run).
+var scorePool sync.Pool
+
+func getScoreBuf(n int) []float64 {
+	if v, _ := scorePool.Get().(*[]float64); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putScoreBuf(s []float64) { scorePool.Put(&s) }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"probedis/internal/dis"
 	"probedis/internal/elfx"
@@ -27,6 +28,10 @@ type SectionDetail struct {
 // detail per section. Other executable sections are registered as
 // legitimate cross-section branch targets (PLT stubs, .init/.fini), so
 // inter-section tail calls do not poison viability.
+//
+// Sections are independent pipeline runs, so they are fanned out to the
+// disassembler's worker pool (see WithWorkers) and reassembled in section
+// order; the output is byte-identical to the serial path.
 func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error) {
 	f, err := elfx.Parse(img)
 	if err != nil {
@@ -36,27 +41,67 @@ func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error)
 	if len(secs) == 0 {
 		return nil, fmt.Errorf("core: no executable sections")
 	}
-	var out []SectionDetail
+
+	// Per-section inputs are derived from the bytes actually present
+	// (len(Data)), never from the header's Size claim: a truncated or
+	// NOBITS executable section would otherwise yield an entry offset
+	// beyond the section bytes, and phantom extern ranges that legitimize
+	// branches into memory the image does not back.
+	entries := make([]int, len(secs))
+	externs := make([][]superset.Range, len(secs))
 	for i, s := range secs {
-		entry := -1
-		if f.Entry >= s.Addr && f.Entry < s.Addr+s.Size {
-			entry = int(f.Entry - s.Addr)
+		entries[i] = -1
+		if f.Entry >= s.Addr && f.Entry-s.Addr < uint64(len(s.Data)) {
+			entries[i] = int(f.Entry - s.Addr)
 		}
-		var extern []superset.Range
 		for j, o := range secs {
-			if j != i {
-				extern = append(extern, superset.Range{Start: o.Addr, End: o.Addr + o.Size})
+			if j != i && len(o.Data) > 0 {
+				externs[i] = append(externs[i], superset.Range{
+					Start: o.Addr, End: o.Addr + uint64(len(o.Data)),
+				})
 			}
 		}
+	}
+
+	out := make([]SectionDetail, len(secs))
+	runSection := func(i int) {
+		s := &secs[i]
 		g := superset.Build(s.Data, s.Addr)
-		g.SetExtern(extern)
-		out = append(out, SectionDetail{
+		g.SetExtern(externs[i])
+		out[i] = SectionDetail{
 			Name:   s.Name,
 			Addr:   s.Addr,
 			Data:   s.Data,
-			Detail: d.run(g, entry),
-		})
+			Detail: d.run(g, entries[i]),
+		}
 	}
+
+	workers := d.Workers()
+	if workers > len(secs) {
+		workers = len(secs)
+	}
+	if workers <= 1 {
+		for i := range secs {
+			runSection(i)
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runSection(i)
+			}
+		}()
+	}
+	for i := range secs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	return out, nil
 }
 

@@ -14,6 +14,7 @@ package correct
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"probedis/internal/analysis"
 	"probedis/internal/superset"
@@ -87,7 +88,9 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 
 	order := sortOrder(hints)
 
-	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0}}
+	sc := scratchPool.Get().(*scratch)
+	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
+		stack: sc.stack, succs: sc.succs, chain: sc.chain}
 	for i, hi := range order {
 		if opts.MaxHints > 0 && i >= opts.MaxHints {
 			break
@@ -112,8 +115,21 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 	if !opts.NoGapFill {
 		c.fillGaps(opts.Scores)
 	}
+
+	sc.stack, sc.succs, sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]
+	scratchPool.Put(sc)
 	return o
 }
+
+// scratch bundles the corrector's reusable work buffers. Pooled: one
+// correction run per section, and the commit/retract loops call
+// ForcedSuccs for every committed instruction, so recycling the buffers
+// removes the hot path's steady allocation churn.
+type scratch struct {
+	stack, succs, chain []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // retract is the error-correction fixpoint: committed instructions whose
 // forced successor turned out to be data (or the middle of another
@@ -168,7 +184,9 @@ func (c *corrector) retract() int {
 // order-preserving truncated float32 pattern (24 bits) | bitwise-inverted
 // offset (30 bits, sections up to 1 GiB) | inverted kind (code before
 // data on full ties). Near-equal scores may collapse to the same 24-bit
-// pattern and fall through to the deterministic offset order.
+// pattern; colliding keys fall back to the canonical total hint order
+// (analysis.Hint.Less), so the commit order never depends on the order
+// the analyses — possibly running concurrently — emitted the hints in.
 func sortOrder(hints []analysis.Hint) []int32 {
 	keys := make([]uint64, len(hints))
 	order := make([]int32, len(hints))
@@ -199,6 +217,13 @@ func sortOrder(hints []analysis.Hint) []int32 {
 		if ka != kb {
 			return ka > kb
 		}
+		ha, hb := hints[order[a]], hints[order[b]]
+		if ha.Less(hb) {
+			return true
+		}
+		if hb.Less(ha) {
+			return false
+		}
 		return order[a] < order[b]
 	})
 	return order
@@ -210,6 +235,7 @@ type corrector struct {
 	out    *Outcome
 	stack  []int
 	succs  []int
+	chain  []int // commitChain's successor buffer (stack and succs are live there)
 
 	srcIdx map[string]uint8
 	curSrc uint8
@@ -283,7 +309,8 @@ func (c *corrector) commitChain(off int) bool {
 		}
 		c.out.InstStart[o] = true
 		progressed = true
-		for _, s := range c.g.ForcedSuccs(nil, o) {
+		c.chain = c.g.ForcedSuccs(c.chain[:0], o)
+		for _, s := range c.chain {
 			if s >= 0 {
 				c.stack = append(c.stack, s)
 			}

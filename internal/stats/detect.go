@@ -14,9 +14,13 @@ func printable(b byte) bool {
 	return b >= 0x20 && b < 0x7f || b == '\t' || b == '\n' || b == '\r'
 }
 
-// PrintableRuns finds NUL-terminated printable-ASCII runs of at least
-// minLen characters — the signature of inline string islands. The returned
-// range includes the terminating NUL(s).
+// PrintableRuns finds printable-ASCII runs of at least minLen characters
+// that are NUL-terminated — the signature of inline string islands — or
+// that end exactly at the section boundary. The boundary case is
+// deliberately included: a string island placed last in the section has
+// its terminator (or its next sibling) in the following section, and
+// dropping the run would misclassify the trailing string as code. The
+// returned range includes the terminating NUL(s), if present.
 func PrintableRuns(code []byte, minLen int) []Run {
 	var out []Run
 	i := 0
@@ -29,7 +33,7 @@ func PrintableRuns(code []byte, minLen int) []Run {
 		for j < len(code) && printable(code[j]) {
 			j++
 		}
-		if j-i >= minLen && j < len(code) && code[j] == 0 {
+		if j-i >= minLen && (j == len(code) || code[j] == 0) {
 			end := j
 			for end < len(code) && code[end] == 0 {
 				end++

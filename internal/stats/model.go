@@ -194,6 +194,17 @@ func (m *Model) LogOdds(g *superset.Graph, off, window int) (score float64, step
 // independent, so large sections are scored in parallel (deterministic).
 func (m *Model) ScoreAll(g *superset.Graph, window int) []float64 {
 	out := make([]float64, g.Len())
+	m.ScoreAllInto(out, g, window)
+	return out
+}
+
+// ScoreAllInto is ScoreAll writing into out, which must have length
+// g.Len(). It exists so the pipeline can recycle score slices through a
+// buffer pool instead of allocating one per section.
+func (m *Model) ScoreAllInto(out []float64, g *superset.Graph, window int) {
+	if len(out) != g.Len() {
+		panic("stats: ScoreAllInto buffer length mismatch")
+	}
 	scoreRange := func(from, to int) {
 		for off := from; off < to; off++ {
 			s, n := m.LogOdds(g, off, window)
@@ -208,7 +219,7 @@ func (m *Model) ScoreAll(g *superset.Graph, window int) []float64 {
 	workers := runtime.GOMAXPROCS(0)
 	if g.Len() < parallelThreshold || workers == 1 {
 		scoreRange(0, g.Len())
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (g.Len() + workers - 1) / workers
@@ -224,5 +235,4 @@ func (m *Model) ScoreAll(g *superset.Graph, window int) []float64 {
 		}(from, to)
 	}
 	wg.Wait()
-	return out
 }

@@ -134,9 +134,75 @@ func TestPrintableRuns(t *testing.T) {
 	if runs := PrintableRuns([]byte("hi\x00"), 6); len(runs) != 0 {
 		t.Errorf("short string flagged: %v", runs)
 	}
-	// Printable run without NUL terminator is not flagged.
-	if runs := PrintableRuns([]byte("just text no nul"), 6); len(runs) != 0 {
+	// Printable run terminated by a non-NUL, non-printable byte is not
+	// flagged. (A run reaching the section end IS flagged — see
+	// TestPrintableRunsBoundaries.)
+	if runs := PrintableRuns(append([]byte("just text no nul"), 0x90), 6); len(runs) != 0 {
 		t.Errorf("unterminated run flagged: %v", runs)
+	}
+}
+
+// TestPrintableRunsBoundaries pins the section-edge behavior: a printable
+// run ending exactly at the section end counts as terminated (the NUL of a
+// section-final string island lives in the next section), while interior
+// runs still require a NUL.
+func TestPrintableRunsBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		min  int
+		want []Run
+	}{
+		{"interior NUL-terminated", []byte("\x90abcdef\x00\x90"), 6, []Run{{1, 8}}},
+		{"ends at section end, no NUL", []byte("\x90abcdefgh"), 6, []Run{{1, 9}}},
+		{"whole section printable", []byte("abcdefgh"), 6, []Run{{0, 8}}},
+		{"NUL exactly at section end", []byte("\x90abcdef\x00"), 6, []Run{{1, 8}}},
+		{"interior run, non-NUL terminator", []byte("\x90abcdef\x90\x90"), 6, nil},
+		{"too short at section end", []byte("\x90abc"), 6, nil},
+		{"trailing NULs absorbed", []byte("abcdef\x00\x00\x00"), 6, []Run{{0, 9}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := PrintableRuns(c.in, c.min)
+			if len(got) != len(c.want) {
+				t.Fatalf("runs = %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("run %d = %+v, want %+v", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFillRunsEdges pins fill-run detection at both section edges.
+func TestFillRunsEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		min  int
+		want []Run
+	}{
+		{"run at section start", append(make([]byte, 8), 0xc3), 8, []Run{{0, 8}}},
+		{"run at section end", append([]byte{0xc3}, make([]byte, 8)...), 8, []Run{{1, 9}}},
+		{"whole section fill", make([]byte, 8), 8, []Run{{0, 8}}},
+		{"int3 fill at end", []byte{0xc3, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc}, 8, []Run{{1, 9}}},
+		{"short run at end", append([]byte{0xc3}, make([]byte, 7)...), 8, nil},
+		{"mixed fill bytes do not merge", []byte{0, 0, 0, 0, 0xcc, 0xcc, 0xcc, 0xcc}, 8, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := FillRuns(c.in, c.min)
+			if len(got) != len(c.want) {
+				t.Fatalf("runs = %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("run %d = %+v, want %+v", i, got[i], c.want[i])
+				}
+			}
+		})
 	}
 }
 

@@ -128,7 +128,10 @@ func (g *Graph) TargetOff(off int) int {
 // signalling an impossible instruction (application code does not branch
 // into nothing) — unless the target lies in a registered external
 // executable range (cross-section tail call), in which case it imposes no
-// local constraint and is omitted.
+// local constraint and is omitted. A fallthrough ending exactly at the
+// section boundary gets the same escape: if a registered external
+// executable range begins right there (two adjacent text sections),
+// execution legitimately continues into it, so no -1 is emitted.
 func (g *Graph) ForcedSuccs(dst []int, off int) []int {
 	if !g.Valid[off] {
 		return dst
@@ -138,7 +141,7 @@ func (g *Graph) ForcedSuccs(dst []int, off int) []int {
 		next := off + inst.Len
 		if next < len(g.Code) {
 			dst = append(dst, next)
-		} else {
+		} else if !g.ExternTarget(g.Base + uint64(next)) {
 			dst = append(dst, -1)
 		}
 	}

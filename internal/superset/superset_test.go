@@ -110,3 +110,32 @@ func TestZerosDecode(t *testing.T) {
 		t.Errorf("zeros decoded as %v len=%d", g.Insts[0].Op, g.Insts[0].Len)
 	}
 }
+
+// TestForcedSuccsFallthroughAtSectionBoundary: a fallthrough instruction
+// ending exactly at the section end is impossible in isolation (execution
+// would run off into nothing), but legitimate when a registered external
+// executable range begins right there — two adjacent text sections laid
+// out back to back. Regression test: the boundary fallthrough used to be
+// marked -1 unconditionally, poisoning the last instructions of every
+// section that abuts another.
+func TestForcedSuccsFallthroughAtSectionBoundary(t *testing.T) {
+	const base = 0x1000
+	code := []byte{0x90} // nop at the last byte: fallthrough lands at len(code)
+	g := Build(code, base)
+
+	if succs := g.ForcedSuccs(nil, 0); len(succs) != 1 || succs[0] != -1 {
+		t.Fatalf("no extern: succs = %v, want [-1]", succs)
+	}
+
+	// Contiguous adjacent section: execution continues into it.
+	g.SetExtern([]Range{{Start: base + 1, End: base + 0x100}})
+	if succs := g.ForcedSuccs(nil, 0); len(succs) != 0 {
+		t.Errorf("adjacent extern: succs = %v, want []", succs)
+	}
+
+	// Non-contiguous extern (gap after the section): still impossible.
+	g.SetExtern([]Range{{Start: base + 0x40, End: base + 0x100}})
+	if succs := g.ForcedSuccs(nil, 0); len(succs) != 1 || succs[0] != -1 {
+		t.Errorf("gapped extern: succs = %v, want [-1]", succs)
+	}
+}
