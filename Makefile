@@ -1,8 +1,9 @@
 # Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
-# end-to-end, so vet and the race detector are part of the baseline gate.
-.PHONY: verify build test race vet bench
+# end-to-end, so vet and the race detector are part of the baseline gate;
+# cover enforces the per-package statement-coverage floor.
+.PHONY: verify build test race vet bench cover fuzz-smoke
 
-verify: build vet test race
+verify: build vet test race cover
 
 build:
 	go build ./...
@@ -18,3 +19,21 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+# Statement-coverage floor for every internal/ package. Prints the
+# per-package report and fails if any package is below $(COVER_MIN)%.
+COVER_MIN = 70
+cover:
+	@go test -cover ./internal/... | awk '\
+		/coverage:/ { \
+			pct = ""; \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = $$(i+1); \
+			sub(/%$$/, "", pct); \
+			printf "%-32s %6.1f%%\n", $$2, pct; \
+			if (pct + 0 < $(COVER_MIN)) { bad = 1; printf "FAIL %s below $(COVER_MIN)%% floor\n", $$2 } \
+		} \
+		END { exit bad }'
+
+# Short coverage-guided fuzz pass over the whole pipeline (CI smoke).
+fuzz-smoke:
+	go test -fuzz=FuzzPipeline -fuzztime=30s .

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	disasm [-listing] [-bytes] [-summary] file.elf
+//	disasm [-listing] [-bytes] [-summary] [-selfcheck] file.elf
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"probedis/internal/core"
 	"probedis/internal/listing"
+	"probedis/internal/oracle"
 	"probedis/internal/stats"
 )
 
@@ -24,9 +25,10 @@ func main() {
 	showRegions := flag.Bool("regions", false, "print data regions with the analysis that proved each")
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
 	workers := flag.Int("workers", 0, "pipeline worker goroutines: sections and analyses run concurrently (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	selfcheck := flag.Bool("selfcheck", false, "run the verification oracle on this binary: re-disassemble serially and in parallel, check every structural invariant, and exit nonzero on any violation")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: disasm [-listing] [-bytes] [-summary] [-model m.pdmd] file.elf")
+		fmt.Fprintln(os.Stderr, "usage: disasm [-listing] [-bytes] [-summary] [-selfcheck] [-model m.pdmd] file.elf")
 		os.Exit(2)
 	}
 
@@ -49,6 +51,20 @@ func main() {
 		model = core.DefaultModel()
 	}
 	d := core.New(model, core.WithWorkers(*workers))
+	if *selfcheck {
+		rep, err := oracle.CheckELF(d, img)
+		if err != nil {
+			fatal(err)
+		}
+		if !rep.OK() {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(os.Stderr, "selfcheck:", v)
+			}
+			fmt.Fprintf(os.Stderr, "selfcheck: %d violation(s)\n", len(rep.Violations))
+			os.Exit(1)
+		}
+		fmt.Println("selfcheck: all invariants hold")
+	}
 	secs, err := d.DisassembleELFDetail(img)
 	if err != nil {
 		fatal(err)

@@ -102,6 +102,33 @@ func New(model *stats.Model, opts ...Option) *Disassembler {
 	return d
 }
 
+// Clone returns a copy of the disassembler with extra options applied —
+// the configured base stays untouched, so a caller can derive e.g. a
+// serial twin (Clone(WithWorkers(1))) of a shared pipeline.
+func (d *Disassembler) Clone(opts ...Option) *Disassembler {
+	c := *d
+	for _, o := range opts {
+		o(&c)
+	}
+	return &c
+}
+
+// HintsFor returns the combined hint list for one section exactly as the
+// correction stage would consume it (unsorted): viability and statistical
+// scores are recomputed from the graph. Exposed for the verification
+// oracle, which checks that the hint stream is deterministic and totally
+// ordered.
+func (d *Disassembler) HintsFor(g *superset.Graph, entry int) []analysis.Hint {
+	viable := analysis.Viability(g)
+	var scores []float64
+	if d.useStats {
+		scores = make([]float64, g.Len())
+		d.model.ScoreAllInto(scores, g, d.window)
+	}
+	hints, _ := d.CollectHints(g, viable, entry, scores)
+	return hints
+}
+
 // Name implements dis.Engine.
 func (d *Disassembler) Name() string { return "probedis" }
 

@@ -21,7 +21,20 @@ type SectionDetail struct {
 	Name   string
 	Addr   uint64
 	Data   []byte
+	Entry  int // section-relative entry offset, -1 when outside the section
 	Detail *Detail
+}
+
+// DisassembleSection runs the full pipeline on one text section with an
+// explicit set of external executable ranges (other text sections of the
+// same binary). It is the per-section building block of
+// DisassembleELFDetail, exported for multi-section callers and for the
+// verification oracle, which uses it to replay a section under deliberately
+// wrong extern sets.
+func (d *Disassembler) DisassembleSection(code []byte, base uint64, entry int, extern []superset.Range) *Detail {
+	g := superset.Build(code, base)
+	g.SetExtern(extern)
+	return d.run(g, entry)
 }
 
 // DisassembleELFDetail is DisassembleELF returning the full pipeline
@@ -66,13 +79,12 @@ func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error)
 	out := make([]SectionDetail, len(secs))
 	runSection := func(i int) {
 		s := &secs[i]
-		g := superset.Build(s.Data, s.Addr)
-		g.SetExtern(externs[i])
 		out[i] = SectionDetail{
 			Name:   s.Name,
 			Addr:   s.Addr,
 			Data:   s.Data,
-			Detail: d.run(g, entries[i]),
+			Entry:  entries[i],
+			Detail: d.DisassembleSection(s.Data, s.Addr, entries[i], externs[i]),
 		}
 	}
 

@@ -85,6 +85,12 @@ var (
 
 var le = binary.LittleEndian
 
+// inBounds reports whether [off, off+size) lies within an n-byte buffer,
+// guarding against uint64 wraparound in off+size.
+func inBounds(off, size, n uint64) bool {
+	return off <= n && size <= n-off
+}
+
 // Parse reads an ELF64 little-endian x86-64 image from b.
 func Parse(b []byte) (*File, error) {
 	if len(b) < ehSize {
@@ -114,7 +120,7 @@ func Parse(b []byte) (*File, error) {
 
 	for i := 0; i < int(phnum); i++ {
 		off := phoff + uint64(i)*uint64(phentsize)
-		if off+phSize > uint64(len(b)) {
+		if off < phoff || !inBounds(off, phSize, uint64(len(b))) {
 			return nil, fmt.Errorf("elfx: program header %d out of range", i)
 		}
 		p := b[off:]
@@ -126,7 +132,7 @@ func Parse(b []byte) (*File, error) {
 			Filesz: le.Uint64(p[32:]),
 			Memsz:  le.Uint64(p[40:]),
 		}
-		if seg.Off+seg.Filesz > uint64(len(b)) {
+		if !inBounds(seg.Off, seg.Filesz, uint64(len(b))) {
 			return nil, fmt.Errorf("elfx: segment %d data out of range", i)
 		}
 		seg.Data = b[seg.Off : seg.Off+seg.Filesz]
@@ -139,10 +145,10 @@ func Parse(b []byte) (*File, error) {
 	// Section name string table.
 	var shstr []byte
 	strOff := shoff + uint64(shstrndx)*uint64(shentsize)
-	if int(shstrndx) < int(shnum) && strOff+shSize <= uint64(len(b)) {
+	if int(shstrndx) < int(shnum) && strOff >= shoff && inBounds(strOff, shSize, uint64(len(b))) {
 		s := b[strOff:]
 		o, sz := le.Uint64(s[24:]), le.Uint64(s[32:])
-		if o+sz <= uint64(len(b)) {
+		if inBounds(o, sz, uint64(len(b))) {
 			shstr = b[o : o+sz]
 		}
 	}
@@ -158,7 +164,7 @@ func Parse(b []byte) (*File, error) {
 	}
 	for i := 0; i < int(shnum); i++ {
 		off := shoff + uint64(i)*uint64(shentsize)
-		if off+shSize > uint64(len(b)) {
+		if off < shoff || !inBounds(off, shSize, uint64(len(b))) {
 			return nil, fmt.Errorf("elfx: section header %d out of range", i)
 		}
 		s := b[off:]
@@ -171,7 +177,7 @@ func Parse(b []byte) (*File, error) {
 			Size:  le.Uint64(s[32:]),
 		}
 		if sec.Type != SHTNobits && sec.Type != SHTNull {
-			if sec.Off+sec.Size > uint64(len(b)) {
+			if !inBounds(sec.Off, sec.Size, uint64(len(b))) {
 				return nil, fmt.Errorf("elfx: section %q data out of range", sec.Name)
 			}
 			sec.Data = b[sec.Off : sec.Off+sec.Size]

@@ -28,6 +28,20 @@ func (b *Builder) AddSection(name string, addr uint64, flags uint64, data []byte
 	})
 }
 
+// AddNobits appends a SHT_NOBITS section: a header-only region that claims
+// size bytes at addr but occupies no file space (.bss — or, in hostile
+// binaries, a phantom executable section whose Size the image does not
+// back). NOBITS sections get a section header but no LOAD segment.
+func (b *Builder) AddNobits(name string, addr uint64, flags uint64, size uint64) {
+	b.sections = append(b.sections, Section{
+		Name:  name,
+		Type:  SHTNobits,
+		Flags: flags,
+		Addr:  addr,
+		Size:  size,
+	})
+}
+
 const pageSize = 0x1000
 
 // Write lays out and serialises the image.
@@ -45,7 +59,21 @@ func (b *Builder) Write() ([]byte, error) {
 		}
 	}
 
-	// Group contiguous same-permission sections into segments.
+	// NOBITS sections claim address space but no file space: they are
+	// excluded from data layout and LOAD segments and only appear in the
+	// section header table.
+	var prog []int // indices into secs, address order, NOBITS excluded
+	for i := range secs {
+		if secs[i].Type != SHTNobits {
+			prog = append(prog, i)
+		}
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("elfx: no progbits sections")
+	}
+
+	// Group contiguous same-permission sections into segments. first/last
+	// index into prog.
 	type segPlan struct {
 		flags       uint32
 		first, last int
@@ -60,14 +88,22 @@ func (b *Builder) Write() ([]byte, error) {
 		}
 		return p
 	}
+	// A section joins the previous segment only when the permissions match
+	// AND the address gap is small enough to zero-fill in the file; a far
+	// section (e.g. a cold text region gigabytes away) starts its own LOAD
+	// segment instead of padding the file across the gap.
 	var plans []segPlan
-	for i := range secs {
-		p := permOf(&secs[i])
+	for k := range prog {
+		s := &secs[prog[k]]
+		p := permOf(s)
 		if n := len(plans); n > 0 && plans[n-1].flags == p {
-			plans[n-1].last = i
-			continue
+			prev := &secs[prog[k-1]]
+			if s.Addr-(prev.Addr+prev.Size) <= pageSize {
+				plans[n-1].last = k
+				continue
+			}
 		}
-		plans = append(plans, segPlan{flags: p, first: i, last: i})
+		plans = append(plans, segPlan{flags: p, first: k, last: k})
 	}
 
 	// File layout: header, program headers, section data (offset congruent
@@ -82,19 +118,20 @@ func (b *Builder) Write() ([]byte, error) {
 	offs := make([]uint64, len(secs))
 	for _, pl := range plans {
 		off := uint64(len(out))
-		first := &secs[pl.first]
+		first := &secs[prog[pl.first]]
 		want := first.Addr % pageSize
 		if off%pageSize != want {
 			pad := (want - off%pageSize + pageSize) % pageSize
 			out = append(out, make([]byte, pad)...)
 			off += pad
 		}
-		offs[pl.first] = off
+		offs[prog[pl.first]] = off
 		out = append(out, first.Data...)
-		for i := pl.first + 1; i <= pl.last; i++ {
-			gap := secs[i].Addr - (secs[i-1].Addr + secs[i-1].Size)
+		for k := pl.first + 1; k <= pl.last; k++ {
+			i, p := prog[k], prog[k-1]
+			gap := secs[i].Addr - (secs[p].Addr + secs[p].Size)
 			out = append(out, make([]byte, gap)...)
-			offs[i] = offs[i-1] + secs[i-1].Size + gap
+			offs[i] = offs[p] + secs[p].Size + gap
 			out = append(out, secs[i].Data...)
 		}
 	}
@@ -128,7 +165,7 @@ func (b *Builder) Write() ([]byte, error) {
 		le.PutUint64(p[48:], align)
 	}
 	for i := range secs {
-		writeSh(i+1, nameOff[i], SHTProgbits, secs[i].Flags, secs[i].Addr,
+		writeSh(i+1, nameOff[i], secs[i].Type, secs[i].Flags, secs[i].Addr,
 			offs[i], secs[i].Size, 16)
 	}
 	writeSh(shnum-1, strName, SHTStrtab, 0, 0, strOff, uint64(len(shstr)), 1)
@@ -153,7 +190,7 @@ func (b *Builder) Write() ([]byte, error) {
 	// Program headers.
 	for pi, pl := range plans {
 		p := out[ehSize+pi*phSize:]
-		start, end := pl.first, pl.last
+		start, end := prog[pl.first], prog[pl.last]
 		fileOff := offs[start]
 		vaddr := secs[start].Addr
 		size := secs[end].Addr + secs[end].Size - vaddr

@@ -110,12 +110,22 @@ func ratio(a, b int) float64 {
 
 // Score compares an engine result against ground truth.
 func Score(b *synth.Binary, res *dis.Result) Metrics {
-	var m Metrics
 	if res.Len() != len(b.Code) {
 		panic(fmt.Sprintf("eval: result size %d != binary size %d", res.Len(), len(b.Code)))
 	}
-	m.Bytes = len(b.Code)
-	for i, cls := range b.Truth.Classes {
+	return ScoreTruth(b.Truth, res)
+}
+
+// ScoreTruth scores a result against bare ground truth, for callers that
+// carry no synth.Binary wrapper — the verification oracle scores stitched
+// multi-section results of transformed binaries against the original truth.
+func ScoreTruth(truth *synth.Truth, res *dis.Result) Metrics {
+	var m Metrics
+	if res.Len() != len(truth.Classes) {
+		panic(fmt.Sprintf("eval: result size %d != truth size %d", res.Len(), len(truth.Classes)))
+	}
+	m.Bytes = len(truth.Classes)
+	for i, cls := range truth.Classes {
 		truthCode := cls == synth.ClassCode
 		switch {
 		case res.IsCode[i] && !truthCode:
@@ -130,18 +140,18 @@ func Score(b *synth.Binary, res *dis.Result) Metrics {
 			}
 		}
 		switch {
-		case res.InstStart[i] && b.Truth.InstStart[i]:
+		case res.InstStart[i] && truth.InstStart[i]:
 			m.InstTP++
 		case res.InstStart[i]:
 			m.InstFP++
-		case b.Truth.InstStart[i]:
+		case truth.InstStart[i]:
 			m.InstFN++
 		}
 	}
 	m.TrueInsts = m.InstTP + m.InstFN
 
 	truthFuncs := map[int]bool{}
-	for _, f := range b.Truth.FuncStarts {
+	for _, f := range truth.FuncStarts {
 		truthFuncs[f] = true
 	}
 	m.TrueFuncs = len(truthFuncs)

@@ -1,0 +1,79 @@
+package listing_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/listing"
+	"probedis/internal/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden listing snapshots")
+
+// Golden snapshot tests: fixed-seed synthetic binaries run through the full
+// pipeline and rendered; output must match the checked-in snapshot exactly.
+// Regenerate deliberately with:
+//
+//	go test ./internal/listing/ -run TestGolden -update
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  synth.Config
+		opts listing.Options
+	}{
+		{"o0-plain", synth.Config{Seed: 11, Profile: synth.ProfileO0, NumFuncs: 3}, listing.Options{}},
+		{"o2-bytes", synth.Config{Seed: 12, Profile: synth.ProfileO2, NumFuncs: 3}, listing.Options{ShowBytes: true}},
+		{"complex-plain", synth.Config{Seed: 13, Profile: synth.ProfileComplex, NumFuncs: 4}, listing.Options{}},
+	}
+	d := core.New(core.DefaultModel())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bin, err := synth.Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := d.Disassemble(bin.Code, bin.Base, int(bin.Entry-bin.Base))
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "# %s seed=%d funcs=%d len=%d\n",
+				tc.name, tc.cfg.Seed, tc.cfg.NumFuncs, len(bin.Code))
+			if err := listing.Write(&buf, bin.Code, res, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("listing differs from %s (run with -update after verifying the change is intended)\n%s",
+					path, diffHint(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// diffHint shows the first divergent line of got vs want.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(wl), len(gl))
+}

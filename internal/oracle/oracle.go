@@ -1,0 +1,420 @@
+// Package oracle is the verification engine for the disassembly pipeline:
+// it checks structural invariants that must hold after any pipeline run,
+// verifies that the concurrent pipeline agrees with the serial one, and
+// runs metamorphic tests — truth-preserving transforms of synthetic
+// binaries whose truth-relative metrics must not change (see
+// metamorphic.go).
+//
+// The oracle never trusts the pipeline's own bookkeeping: invariants are
+// re-derived from the superset graph and the raw bytes, so a bug that
+// corrupts both the result and the derived statistics consistently is
+// still caught.
+//
+// Invariants enforced by CheckDetail / CheckSection / CheckELF:
+//
+//	partition       every byte is classified, exactly one of code/data;
+//	                no byte is left in the corrector's Unknown state
+//	inst-integrity  every emitted instruction start decodes, fits the
+//	                section, and owns its bytes exclusively: committed
+//	                instructions never overlap and never span into data
+//	code-owned      every code byte is covered by exactly one committed
+//	                instruction (no orphan code bytes)
+//	viability       every committed instruction is viable and none of its
+//	                forced successors (fallthrough, direct branch target)
+//	                leaves the section except into a registered extern
+//	                range
+//	func-starts     recovered function entries are strictly ascending and
+//	                land on committed instruction starts
+//	cfg-domain      CFG blocks cover committed instructions only; every
+//	                successor edge lands on a block start inside the
+//	                section
+//	hint-order      the hint stream is deterministic across collections
+//	                and its commit order is a total order
+//	determinism     serial (workers=1) and parallel pipeline runs produce
+//	                byte-identical classifications
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"probedis/internal/analysis"
+	"probedis/internal/core"
+	"probedis/internal/correct"
+	"probedis/internal/dis"
+	"probedis/internal/x86"
+)
+
+// Invariant names, used as Violation.Invariant values.
+const (
+	InvPartition     = "partition"
+	InvInstIntegrity = "inst-integrity"
+	InvCodeOwned     = "code-owned"
+	InvViability     = "viability"
+	InvFuncStarts    = "func-starts"
+	InvCFGDomain     = "cfg-domain"
+	InvHintOrder     = "hint-order"
+	InvDeterminism   = "determinism"
+	InvMetamorphic   = "metamorphic"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	Invariant string // which invariant (Inv* constants)
+	Section   string // section or context name
+	Off       int    // section offset, -1 when not byte-anchored
+	Msg       string
+}
+
+func (v Violation) String() string {
+	if v.Off >= 0 {
+		return fmt.Sprintf("%s[%s] @%#x: %s", v.Invariant, v.Section, v.Off, v.Msg)
+	}
+	return fmt.Sprintf("%s[%s]: %s", v.Invariant, v.Section, v.Msg)
+}
+
+// Report collects violations from one or more checks.
+type Report struct {
+	Violations []Violation
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) addf(inv, sec string, off int, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: inv, Section: sec, Off: off, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// violationCap bounds per-check reporting so a badly broken run doesn't
+// produce megabytes of diagnostics; the first violations carry the signal.
+const violationCap = 32
+
+func (r *Report) full() bool { return len(r.Violations) >= violationCap }
+
+// CheckResult checks the invariants expressible on a bare classification
+// (no pipeline internals): partition, instruction integrity against a
+// fresh decode, code ownership and function-start ordering. It applies to
+// any dis.Engine output, including the baseline engines.
+func CheckResult(rep *Report, sec string, code []byte, res *dis.Result) {
+	if res.Len() != len(code) {
+		rep.addf(InvPartition, sec, -1, "result covers %d bytes, section has %d", res.Len(), len(code))
+		return
+	}
+	if len(res.InstStart) != len(code) {
+		rep.addf(InvPartition, sec, -1, "InstStart covers %d bytes, section has %d", len(res.InstStart), len(code))
+		return
+	}
+	checkInstWalk(rep, sec, code, res, nil)
+	checkFuncStarts(rep, sec, res)
+}
+
+// CheckDetail checks every structural invariant on one section's full
+// pipeline output.
+func CheckDetail(rep *Report, sec string, code []byte, det *core.Detail) {
+	res := det.Result
+	if res.Len() != len(code) || det.Graph.Len() != len(code) {
+		rep.addf(InvPartition, sec, -1, "result covers %d bytes, graph %d, section %d",
+			res.Len(), det.Graph.Len(), len(code))
+		return
+	}
+	out := det.Outcome
+	for i := range out.State {
+		if rep.full() {
+			return
+		}
+		st := out.State[i]
+		if st == correct.Unknown {
+			rep.addf(InvPartition, sec, i, "byte left unclassified (Unknown) after gap fill")
+		}
+		if (st == correct.Code) != res.IsCode[i] {
+			rep.addf(InvPartition, sec, i, "Outcome.State=%d disagrees with Result.IsCode=%v", st, res.IsCode[i])
+		}
+	}
+	checkInstWalk(rep, sec, code, res, det)
+	checkFuncStarts(rep, sec, res)
+	checkCFG(rep, sec, code, det)
+}
+
+// checkInstWalk verifies instruction integrity and code ownership by
+// walking the section once. det may be nil (bare-result mode); when
+// present, owner/viability/forced-successor facts are checked too.
+func checkInstWalk(rep *Report, sec string, code []byte, res *dis.Result, det *core.Detail) {
+	n := len(code)
+	var succs []int
+	for off := 0; off < n; {
+		if rep.full() {
+			return
+		}
+		if !res.InstStart[off] {
+			if res.IsCode[off] {
+				rep.addf(InvCodeOwned, sec, off, "code byte not covered by any committed instruction")
+			}
+			if det != nil && det.Outcome.Owner[off] != -1 {
+				rep.addf(InvCodeOwned, sec, off, "non-code byte has owner %#x", det.Outcome.Owner[off])
+			}
+			off++
+			continue
+		}
+		// Committed instruction start: re-decode independently.
+		inst, err := decodeAt(code, res.Base, off, det)
+		if err != nil {
+			rep.addf(InvInstIntegrity, sec, off, "committed instruction start does not decode: %v", err)
+			off++
+			continue
+		}
+		end := off + inst.len
+		if end > n {
+			rep.addf(InvInstIntegrity, sec, off, "instruction (%d bytes) spans past section end %#x", inst.len, n)
+			off++
+			continue
+		}
+		for j := off; j < end; j++ {
+			if !res.IsCode[j] {
+				rep.addf(InvInstIntegrity, sec, off, "instruction byte %#x classified data (spans into data)", j)
+			}
+			if j > off && res.InstStart[j] {
+				rep.addf(InvInstIntegrity, sec, off, "overlapping instruction start inside [%#x,%#x)", off, end)
+			}
+			if det != nil && det.Outcome.Owner[j] != int32(off) {
+				rep.addf(InvInstIntegrity, sec, j, "byte owned by %#x, expected %#x", det.Outcome.Owner[j], off)
+			}
+		}
+		if det != nil {
+			if !det.Viable[off] {
+				rep.addf(InvViability, sec, off, "committed instruction start is non-viable")
+			}
+			succs = det.Graph.ForcedSuccs(succs[:0], off)
+			for _, s := range succs {
+				if s < 0 {
+					rep.addf(InvViability, sec, off,
+						"forced successor escapes the section outside any registered extern range")
+				}
+			}
+		}
+		off = end
+	}
+}
+
+// decoded is the minimal decode fact the walk needs.
+type decoded struct{ len int }
+
+// decodeAt re-derives the instruction at off. With a graph available the
+// superset decode is authoritative (it is what the pipeline committed)
+// but must agree with a fresh decode; without one the walk decodes the
+// raw bytes directly.
+func decodeAt(code []byte, base uint64, off int, det *core.Detail) (decoded, error) {
+	inst, err := x86.Decode(code[off:], base+uint64(off))
+	if det == nil {
+		if err != nil {
+			return decoded{}, err
+		}
+		return decoded{len: inst.Len}, nil
+	}
+	if !det.Graph.Valid[off] {
+		return decoded{}, fmt.Errorf("superset graph has no valid decode")
+	}
+	if err != nil || inst.Len != det.Graph.Insts[off].Len {
+		return decoded{}, fmt.Errorf("graph decode (%d bytes) disagrees with fresh decode (err=%v)",
+			det.Graph.Insts[off].Len, err)
+	}
+	return decoded{len: inst.Len}, nil
+}
+
+func checkFuncStarts(rep *Report, sec string, res *dis.Result) {
+	prev := -1
+	for _, f := range res.FuncStarts {
+		if rep.full() {
+			return
+		}
+		if f <= prev {
+			rep.addf(InvFuncStarts, sec, f, "function starts not strictly ascending (prev %#x)", prev)
+		}
+		prev = f
+		if f < 0 || f >= res.Len() {
+			rep.addf(InvFuncStarts, sec, f, "function start outside section")
+			continue
+		}
+		if !res.InstStart[f] {
+			rep.addf(InvFuncStarts, sec, f, "function start is not a committed instruction start")
+		}
+	}
+}
+
+func checkCFG(rep *Report, sec string, code []byte, det *core.Detail) {
+	c := det.CFG
+	if c == nil {
+		rep.addf(InvCFGDomain, sec, -1, "pipeline produced no CFG")
+		return
+	}
+	res := det.Result
+	for start, b := range c.Blocks {
+		if rep.full() {
+			return
+		}
+		if b.Start != start {
+			rep.addf(InvCFGDomain, sec, start, "block keyed at %#x starts at %#x", start, b.Start)
+		}
+		if b.Start < 0 || b.End > len(code) || b.Start >= b.End {
+			rep.addf(InvCFGDomain, sec, b.Start, "block extent [%#x,%#x) outside section", b.Start, b.End)
+			continue
+		}
+		if !res.InstStart[b.Start] {
+			rep.addf(InvCFGDomain, sec, b.Start, "block start is not a committed instruction start")
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(code) || !res.InstStart[s] {
+				rep.addf(InvCFGDomain, sec, b.Start, "successor %#x is not a committed instruction start", s)
+				continue
+			}
+			if c.BlockAt(s) == nil {
+				rep.addf(InvCFGDomain, sec, b.Start, "successor %#x has no block", s)
+			}
+		}
+	}
+	for _, f := range c.Funcs {
+		if rep.full() {
+			return
+		}
+		if c.BlockAt(f.Entry) == nil {
+			rep.addf(InvCFGDomain, sec, f.Entry, "function entry has no block")
+		}
+	}
+}
+
+// CheckHintOrder verifies that an already-sorted hint stream is a total
+// order: strictly ordered under the canonical key, with ties only between
+// byte-identical hints.
+func CheckHintOrder(rep *Report, sec string, hints []analysis.Hint) {
+	for i := 1; i < len(hints); i++ {
+		if rep.full() {
+			return
+		}
+		a, b := hints[i-1], hints[i]
+		if b.Less(a) {
+			rep.addf(InvHintOrder, sec, b.Off, "hint %d sorts before its predecessor (%+v < %+v)", i, b, a)
+		}
+		if !a.Less(b) && !b.Less(a) && a != b {
+			rep.addf(InvHintOrder, sec, b.Off,
+				"distinct hints tie under the commit order: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// CheckHintDeterminism collects the hint stream twice and requires the
+// sorted sequences to be identical, then checks total ordering. collect
+// must be side-effect free.
+func CheckHintDeterminism(rep *Report, sec string, collect func() []analysis.Hint) {
+	h1, h2 := collect(), collect()
+	analysis.SortHints(h1)
+	analysis.SortHints(h2)
+	if len(h1) != len(h2) {
+		rep.addf(InvHintOrder, sec, -1, "hint collection not deterministic: %d vs %d hints", len(h1), len(h2))
+		return
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			rep.addf(InvHintOrder, sec, h1[i].Off,
+				"hint collection not deterministic at rank %d: %+v vs %+v", i, h1[i], h2[i])
+			return
+		}
+	}
+	CheckHintOrder(rep, sec, h1)
+}
+
+// CheckAgreement compares two full pipeline runs (e.g. serial vs parallel)
+// section by section and reports any divergence.
+func CheckAgreement(rep *Report, ctx string, a, b []core.SectionDetail) {
+	if len(a) != len(b) {
+		rep.addf(InvDeterminism, ctx, -1, "section counts differ: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		sa, sb := &a[i], &b[i]
+		sec := ctx + "/" + sa.Name
+		if sa.Name != sb.Name || sa.Addr != sb.Addr || sa.Entry != sb.Entry {
+			rep.addf(InvDeterminism, sec, -1, "section identity differs: %s@%#x vs %s@%#x",
+				sa.Name, sa.Addr, sb.Name, sb.Addr)
+			continue
+		}
+		ra, rb := sa.Detail.Result, sb.Detail.Result
+		if ra.Len() != rb.Len() {
+			rep.addf(InvDeterminism, sec, -1, "result sizes differ: %d vs %d", ra.Len(), rb.Len())
+			continue
+		}
+		for j := range ra.IsCode {
+			if ra.IsCode[j] != rb.IsCode[j] || ra.InstStart[j] != rb.InstStart[j] {
+				rep.addf(InvDeterminism, sec, j, "classification differs (code %v/%v, inst %v/%v)",
+					ra.IsCode[j], rb.IsCode[j], ra.InstStart[j], rb.InstStart[j])
+				break
+			}
+		}
+		if fmt.Sprint(ra.FuncStarts) != fmt.Sprint(rb.FuncStarts) {
+			rep.addf(InvDeterminism, sec, -1, "function starts differ: %v vs %v", ra.FuncStarts, rb.FuncStarts)
+		}
+		oa, ob := sa.Detail.Outcome, sb.Detail.Outcome
+		if oa.Committed != ob.Committed || oa.Rejected != ob.Rejected || oa.Retracted != ob.Retracted {
+			rep.addf(InvDeterminism, sec, -1, "outcome counters differ: %d/%d/%d vs %d/%d/%d",
+				oa.Committed, oa.Rejected, oa.Retracted, ob.Committed, ob.Rejected, ob.Retracted)
+		}
+	}
+}
+
+// parallelWorkers forces the concurrent code paths even on one CPU.
+const parallelWorkers = 4
+
+// CheckELF runs the whole battery on one ELF image: a serial and a
+// parallel pipeline run must agree, and every section must satisfy the
+// structural and hint-stream invariants. The error return is a parse or
+// pipeline failure, not a violation.
+func CheckELF(d *core.Disassembler, img []byte) (*Report, error) {
+	rep := &Report{}
+	serial, err := d.Clone(core.WithWorkers(1)).DisassembleELFDetail(img)
+	if err != nil {
+		return nil, err
+	}
+	par, err := d.Clone(core.WithWorkers(parallelWorkers)).DisassembleELFDetail(img)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: parallel run failed where serial succeeded: %w", err)
+	}
+	CheckAgreement(rep, "elf", serial, par)
+	for i := range par {
+		s := &par[i]
+		CheckDetail(rep, s.Name, s.Data, s.Detail)
+		CheckHintDeterminism(rep, s.Name, func() []analysis.Hint {
+			return d.HintsFor(s.Detail.Graph, s.Entry)
+		})
+	}
+	return rep, nil
+}
+
+// CheckSection is CheckELF for one bare text section (no ELF container).
+func CheckSection(d *core.Disassembler, code []byte, base uint64, entry int) *Report {
+	rep := &Report{}
+	serial := d.Clone(core.WithWorkers(1)).DisassembleSection(code, base, entry, nil)
+	par := d.Clone(core.WithWorkers(parallelWorkers)).DisassembleSection(code, base, entry, nil)
+	CheckAgreement(rep, "section", []core.SectionDetail{
+		{Name: ".text", Addr: base, Data: code, Entry: entry, Detail: serial},
+	}, []core.SectionDetail{
+		{Name: ".text", Addr: base, Data: code, Entry: entry, Detail: par},
+	})
+	CheckDetail(rep, ".text", code, par)
+	CheckHintDeterminism(rep, ".text", func() []analysis.Hint {
+		return d.HintsFor(par.Graph, entry)
+	})
+	return rep
+}
+
+// Check is the single test entry point: it runs CheckELF and fails the
+// test with one error per violation.
+func Check(t testing.TB, d *core.Disassembler, img []byte) {
+	t.Helper()
+	rep, err := CheckELF(d, img)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle: %s", v)
+	}
+}
