@@ -1,7 +1,7 @@
 # Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
 # end-to-end, so vet and the race detector are part of the baseline gate;
 # cover enforces the per-package statement-coverage floor.
-.PHONY: verify build test race vet bench cover fuzz-smoke
+.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke
 
 verify: build vet test race cover
 
@@ -17,8 +17,19 @@ test:
 race:
 	go test -race ./...
 
+# Benchmark-regression gate: run the full suite, compare against the
+# latest committed BENCH_<date>.json (>15% ns/op regression fails), and
+# write today's results as the new baseline.
+BENCH_DATE = $(shell date -u +%Y-%m-%d)
 bench:
-	go test -bench=. -benchmem
+	go test -run='^$$' -bench=. -benchmem . | tee /tmp/bench.out
+	go run ./cmd/benchdiff -in /tmp/bench.out -dir . -write BENCH_$(BENCH_DATE).json
+
+# CI smoke variant: single iteration per benchmark, report-only (noisy
+# shared runners must not fail the build), baseline never overwritten.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee /tmp/bench-smoke.out
+	go run ./cmd/benchdiff -in /tmp/bench-smoke.out -dir . -report-only
 
 # Statement-coverage floor for every internal/ package. Prints the
 # per-package report and fails if any package is below $(COVER_MIN)%.

@@ -22,6 +22,7 @@ import (
 	"probedis/internal/elfx"
 	"probedis/internal/emu"
 	"probedis/internal/eval"
+	"probedis/internal/obs"
 	"probedis/internal/rewrite"
 	"probedis/internal/stats"
 	"probedis/internal/superset"
@@ -327,6 +328,37 @@ func BenchmarkMultiSectionELF(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkObsDisabled measures the instrumented pipeline with tracing
+// off (nil span): the disabled path must cost the same as the pre-
+// instrumentation pipeline, so this number is the regression sentinel
+// for observability overhead. Compare with BenchmarkObsEnabled.
+func BenchmarkObsDisabled(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	bin := e.corpus[0]
+	b.SetBytes(int64(len(bin.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DisassembleSection(bin.Code, bin.Base, int(bin.Entry-bin.Base), nil)
+	}
+}
+
+// BenchmarkObsEnabled measures the same run under a live time-only trace
+// (the disasmd per-request configuration). The delta vs
+// BenchmarkObsDisabled is the true cost of span collection.
+func BenchmarkObsEnabled(b *testing.B) {
+	e := benchSetup(b)
+	d := core.New(e.model)
+	bin := e.corpus[0]
+	b.SetBytes(int64(len(bin.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTraceTimeOnly("disassemble")
+		d.DisassembleSectionTrace(bin.Code, bin.Base, int(bin.Entry-bin.Base), nil, tr)
+		tr.End()
 	}
 }
 

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: probedis
+cpu: Some CPU
+BenchmarkT1InstF1-8          	      10	 120000000 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkT5Throughput-8      	       5	 200000000 ns/op	  52.40 MB/s	 9000000 B/op	   80000 allocs/op
+BenchmarkObsDisabled         	  100000	     12345 ns/op	    1024 B/op	      12 allocs/op
+--- some unrelated line
+PASS
+ok  	probedis	3.210s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkT1InstF1" || b.Runs != 10 || b.NsOp != 120000000 ||
+		b.BytesOp != 5000000 || b.AllocsOp != 40000 {
+		t.Errorf("first bench: %+v", b)
+	}
+	if benches[1].MBs != 52.40 {
+		t.Errorf("MB/s not parsed: %+v", benches[1])
+	}
+	if benches[2].Name != "BenchmarkObsDisabled" { // no GOMAXPROCS suffix to strip
+		t.Errorf("third bench: %+v", benches[2])
+	}
+}
+
+func TestLatestBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2026-07-01.json", "BENCH_2026-08-05.json", "BENCH_smoke.json",
+		"BENCH_2026-13-99.txt", "notes.md",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBenchFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_2026-08-05.json"); got != want {
+		t.Errorf("latest = %q, want %q", got, want)
+	}
+
+	empty := t.TempDir()
+	got, err = latestBenchFile(empty)
+	if err != nil || got != "" {
+		t.Errorf("empty dir: got %q, err %v", got, err)
+	}
+}
+
+func writeBaseline(t *testing.T, dir, name string, benches []Bench) {
+	t.Helper()
+	buf, err := json.Marshal(File{Date: "2026-07-01T00:00:00Z", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoBaselineWritesFirst(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_2026-08-05.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "-write", out},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no baseline found") {
+		t.Errorf("stdout: %s", stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 || f.GoVersion == "" {
+		t.Errorf("written file: %+v", f)
+	}
+}
+
+func TestRunRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 60000000, AllocsOp: 40000}, // current is 2x slower
+		{Name: "BenchmarkGone", NsOp: 100},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"REGRESSION", "(new benchmark)", "(removed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRegressionReportOnly(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 60000000},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "-report-only"},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 in report-only mode", code)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("report-only still reports:\n%s", stdout.String())
+	}
+}
+
+func TestRunWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 110000000}, // +9.1%, under 15%
+		{Name: "BenchmarkT5Throughput", NsOp: 210000000},
+		{Name: "BenchmarkObsDisabled", NsOp: 12000},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("unexpected regression:\n%s", stdout.String())
+	}
+}
+
+func TestRunExplicitBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-01-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 1}, // would regress vs this
+	})
+	clean := filepath.Join(dir, "clean.json")
+	writeBaseline(t, dir, "clean.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 120000000},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", clean}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("explicit baseline ignored: exit = %d\n%s", code, stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"positional"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("positional arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bad-flag"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader("no benchmarks here"), &stdout, &stderr); code != 2 {
+		t.Errorf("empty input: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,72 @@
+// Command disasmd serves the metadata-free disassembly pipeline over
+// HTTP — the production-scale front end of the repo's north star.
+//
+//	disasmd [-addr :8421] [-workers 0] [-batch 0] [-max-bytes 67108864] [-model m.pdmd]
+//
+// Endpoints:
+//
+//	POST /disassemble        body = one ELF64 image; JSON per-section
+//	                         summary. Append ?trace=1 for the per-stage
+//	                         span tree. Malformed ELF -> 400.
+//	GET  /metrics            Prometheus text format: request counters,
+//	                         cumulative per-stage wall time/bytes/calls,
+//	                         heap and goroutine gauges.
+//	GET  /debug/pprof/*      stdlib CPU/heap/goroutine profiling.
+//	GET  /healthz            liveness probe.
+//
+// Concurrent disassemblies are bounded by -batch (default: the pipeline
+// worker-pool size); each one additionally parallelizes over sections
+// and analyses via -workers (see core.WithWorkers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"probedis/internal/core"
+	"probedis/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", ":8421", "listen address")
+	workers := flag.Int("workers", 0, "per-request pipeline worker goroutines (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "max concurrent disassembly requests (0 = worker-pool size)")
+	maxBytes := flag.Int64("max-bytes", 64<<20, "max accepted ELF image size in bytes")
+	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-max-bytes n] [-model m.pdmd]")
+		os.Exit(2)
+	}
+
+	var model *stats.Model
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatalf("disasmd: %v", err)
+		}
+		model, err = stats.ReadModel(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatalf("disasmd: %v", err)
+		}
+	} else {
+		log.Print("disasmd: training default model in-process")
+		model = core.DefaultModel()
+	}
+
+	d := core.New(model, core.WithWorkers(*workers))
+	s := newServer(d, *batch, *maxBytes)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("disasmd: serving on %s (workers=%d batch=%d max-bytes=%d)",
+		*addr, d.Workers(), cap(s.sem), *maxBytes)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+
+	"probedis/internal/core"
+	"probedis/internal/obs"
+)
+
+// server is the disassembly service: it owns the shared pipeline, the
+// metrics registry and the admission semaphore.
+//
+// Concurrency model: each request is one binary; at most `slots`
+// disassemblies run at once (the batch bound — requests beyond it queue
+// on the semaphore), and each disassembly itself fans sections and
+// analyses out on the pipeline's PR 1 worker pool. Every request runs
+// under a time-only trace whose spans are folded into the per-stage
+// Prometheus counters, so /metrics always carries the cumulative
+// per-stage cost breakdown of everything the process served.
+type server struct {
+	d        *core.Disassembler
+	reg      *obs.Registry
+	sem      chan struct{}
+	maxBytes int64
+	inflight atomic.Int64
+}
+
+func newServer(d *core.Disassembler, slots int, maxBytes int64) *server {
+	if slots <= 0 {
+		slots = d.Workers()
+	}
+	s := &server{
+		d:        d,
+		reg:      obs.NewRegistry(),
+		sem:      make(chan struct{}, slots),
+		maxBytes: maxBytes,
+	}
+	s.reg.SetHelp("probedis_requests_total", "requests served, by HTTP status code")
+	s.reg.SetHelp("probedis_request_bytes_total", "ELF bytes received in request bodies")
+	s.reg.SetHelp("probedis_sections_total", "executable sections disassembled")
+	s.reg.SetHelp("probedis_stage_nanos_total", "cumulative pipeline stage wall time")
+	s.reg.SetHelp("probedis_stage_calls_total", "pipeline stage executions")
+	s.reg.SetHelp("probedis_stage_bytes_total", "bytes processed per pipeline stage")
+	s.reg.SetHelp("probedis_inflight_requests", "disassembly requests currently executing")
+	s.reg.SetHelp("probedis_goroutines", "live goroutines")
+	s.reg.SetHelp("probedis_heap_alloc_bytes", "heap bytes in use")
+	s.reg.Gauge("probedis_inflight_requests", func() float64 { return float64(s.inflight.Load()) })
+	s.reg.Gauge("probedis_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.Gauge("probedis_heap_alloc_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	return s
+}
+
+// routes builds the service mux: the disassembly endpoint, the metrics
+// scrape, and the stdlib pprof handlers (CPU/heap/goroutine profiles —
+// the third leg of the observability layer).
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/disassemble", s.handleDisassemble)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// sectionJSON is the per-section summary in a disassemble response.
+type sectionJSON struct {
+	Name       string `json:"name"`
+	Addr       uint64 `json:"addr"`
+	Bytes      int    `json:"bytes"`
+	CodeBytes  int    `json:"code_bytes"`
+	DataBytes  int    `json:"data_bytes"`
+	Insts      int    `json:"insts"`
+	Funcs      int    `json:"funcs"`
+	Blocks     int    `json:"blocks"`
+	JumpTables int    `json:"jump_tables"`
+	Hints      int    `json:"hints"`
+	Committed  int    `json:"committed"`
+	Rejected   int    `json:"rejected"`
+	Retracted  int    `json:"retracted"`
+}
+
+type disassembleResponse struct {
+	Sections []sectionJSON `json:"sections"`
+	Trace    *obs.SpanJSON `json:"trace,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleDisassemble serves POST /disassemble: the request body is one
+// ELF64 image, the response a per-section JSON summary (append ?trace=1
+// for the span tree). Malformed inputs are client errors: 400, never 500.
+func (s *server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST an ELF64 image to /disassemble")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
+	img, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBytes))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	if len(img) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty request body, expected an ELF64 image")
+		return
+	}
+	s.reg.Counter("probedis_request_bytes_total").Add(int64(len(img)))
+
+	// Admission: bounded batch of concurrent disassemblies.
+	s.sem <- struct{}{}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	tr := obs.NewTraceTimeOnly("disassemble")
+	secs, err := s.d.DisassembleELFTrace(img, tr)
+	tr.End()
+	tr.SetBytes(int64(len(img)))
+	if err != nil {
+		// Every pipeline error on this path is an input problem (bad
+		// magic, truncated tables, overflowing offsets, no executable
+		// sections) — the malformed-header corpus in internal/elfx pins
+		// that Parse rejects rather than panics, so the client gets 400.
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.reg.FoldSpans("probedis", tr)
+	s.reg.Counter("probedis_sections_total").Add(int64(len(secs)))
+
+	resp := disassembleResponse{Sections: make([]sectionJSON, len(secs))}
+	for i, sec := range secs {
+		det := sec.Detail
+		res := det.Result
+		resp.Sections[i] = sectionJSON{
+			Name:       sec.Name,
+			Addr:       sec.Addr,
+			Bytes:      res.Len(),
+			CodeBytes:  res.CodeBytes(),
+			DataBytes:  res.Len() - res.CodeBytes(),
+			Insts:      res.NumInsts(),
+			Funcs:      len(res.FuncStarts),
+			Blocks:     det.CFG.NumBlocks(),
+			JumpTables: len(det.Tables),
+			Hints:      det.Hints,
+			Committed:  det.Outcome.Committed,
+			Rejected:   det.Outcome.Rejected,
+			Retracted:  det.Outcome.Retracted,
+		}
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		t := obs.ToJSON(tr)
+		resp.Trace = &t
+	}
+	s.reg.Counter("probedis_requests_total", "code", "200").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// fail writes a JSON error response and counts it.
+func (s *server) fail(w http.ResponseWriter, code int, msg string) {
+	s.reg.Counter("probedis_requests_total", "code", fmt.Sprint(code)).Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+

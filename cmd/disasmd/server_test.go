@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/elfx"
+	"probedis/internal/synth"
+)
+
+var (
+	testSrvOnce sync.Once
+	testSrv     *server
+)
+
+// testServer shares one model-trained server across all tests (model
+// training dominates setup cost).
+func testServer(t *testing.T) *server {
+	t.Helper()
+	testSrvOnce.Do(func() {
+		d := core.New(core.DefaultModel(), core.WithWorkers(1))
+		testSrv = newServer(d, 2, 1<<20)
+	})
+	return testSrv
+}
+
+func synthELF(t *testing.T, seed int64) []byte {
+	t.Helper()
+	b, err := synth.Generate(synth.Config{
+		Seed: seed, Profile: synth.ProfileComplex, NumFuncs: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func post(t *testing.T, s *server, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDisassembleOK(t *testing.T) {
+	s := testServer(t)
+	rec := post(t, s, "/disassemble", synthELF(t, 5))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", rec.Code, rec.Body)
+	}
+	var resp disassembleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response does not parse: %v", err)
+	}
+	if len(resp.Sections) == 0 {
+		t.Fatal("no sections in response")
+	}
+	sec := resp.Sections[0]
+	if sec.Name != ".text" || sec.CodeBytes <= 0 || sec.Insts <= 0 || sec.Funcs <= 0 {
+		t.Errorf("section summary: %+v", sec)
+	}
+	if sec.CodeBytes+sec.DataBytes != sec.Bytes {
+		t.Errorf("code+data != bytes: %+v", sec)
+	}
+	if resp.Trace != nil {
+		t.Error("trace included without ?trace=1")
+	}
+}
+
+func TestDisassembleWithTrace(t *testing.T) {
+	s := testServer(t)
+	rec := post(t, s, "/disassemble?trace=1", synthELF(t, 6))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", rec.Code, rec.Body)
+	}
+	var resp disassembleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.Name != "disassemble" || resp.Trace.DurNS <= 0 {
+		t.Fatalf("trace missing or empty: %+v", resp.Trace)
+	}
+	found := false
+	for _, c := range resp.Trace.Children {
+		if c.Name == "section" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace has no section spans")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/disassemble", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+// le mirrors the ELF byte order for corpus mutation.
+var le = binary.LittleEndian
+
+func put64(img []byte, off int, v uint64) []byte {
+	out := append([]byte(nil), img...)
+	le.PutUint64(out[off:], v)
+	return out
+}
+
+// TestMalformedELFIs400Not500 replays the elfx malformed-header corpus
+// over HTTP: every hostile image must produce a clean 400 client error —
+// never a 500, never a handler panic.
+func TestMalformedELFIs400Not500(t *testing.T) {
+	s := testServer(t)
+	valid := synthELF(t, 7)
+	const (
+		ehPhoff = 32
+		ehShoff = 40
+	)
+	noExec := func() []byte {
+		var b elfx.Builder
+		b.Entry = 0x401000
+		b.AddSection(".rodata", 0x401000, elfx.SHFAlloc, []byte{1, 2, 3, 4})
+		img, err := b.Write()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}()
+
+	cases := []struct {
+		name string
+		img  []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("MZ this is not an ELF at all")},
+		{"truncated-header", valid[:32]},
+		{"bad-magic", append([]byte{'M', 'Z', 0, 0}, valid[4:]...)},
+		{"elf32", func() []byte {
+			out := append([]byte(nil), valid...)
+			out[4] = 1
+			return out
+		}()},
+		{"phoff-past-eof", put64(valid, ehPhoff, uint64(len(valid)))},
+		{"phoff-overflow", put64(valid, ehPhoff, ^uint64(0)-8)},
+		{"shoff-past-eof", put64(valid, ehShoff, uint64(len(valid)))},
+		{"shoff-overflow", put64(valid, ehShoff, ^uint64(0)-16)},
+		{"truncated-mid-sections", valid[:len(valid)/2]},
+		{"no-executable-sections", noExec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, "/disassemble", tc.img)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body: %s)", rec.Code, rec.Body)
+			}
+			var resp errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Error == "" {
+				t.Fatalf("error body not JSON: %s", rec.Body)
+			}
+		})
+	}
+}
+
+func TestBodyTooLarge413(t *testing.T) {
+	s := testServer(t)
+	rec := post(t, s, "/disassemble", make([]byte, 1<<20+1))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := testServer(t)
+	// Ensure at least one success and one failure are on the books.
+	post(t, s, "/disassemble", synthELF(t, 8))
+	post(t, s, "/disassemble", []byte("junk"))
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`probedis_requests_total{code="200"}`,
+		`probedis_requests_total{code="400"}`,
+		`probedis_stage_nanos_total{stage="superset"}`,
+		`probedis_stage_nanos_total{stage="correct"}`,
+		`probedis_stage_calls_total{stage="section"}`,
+		"probedis_request_bytes_total",
+		"probedis_sections_total",
+		"# TYPE probedis_inflight_requests gauge",
+		"probedis_goroutines",
+		"probedis_heap_alloc_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofServed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: status=%d", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+}
+
+// TestConcurrentRequests hammers the endpoint past the admission bound:
+// all requests must complete (the semaphore queues, never rejects) and
+// the counters must add up. Run under -race.
+func TestConcurrentRequests(t *testing.T) {
+	d := core.New(core.DefaultModel(), core.WithWorkers(1))
+	s := newServer(d, 2, 1<<20)
+	img := synthELF(t, 9)
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := post(t, s, "/disassemble", img)
+			if rec.Code != http.StatusOK {
+				t.Errorf("status = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.reg.Counter("probedis_requests_total", "code", "200").Value(); got != n {
+		t.Errorf("200s = %d, want %d", got, n)
+	}
+	if s.inflight.Load() != 0 {
+		t.Errorf("inflight = %d after drain", s.inflight.Load())
+	}
+}

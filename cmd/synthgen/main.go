@@ -1,5 +1,8 @@
 // Command synthgen generates a synthetic ground-truthed ELF64 benchmark
 // binary, writing the executable and (optionally) its ground truth.
+// Generation is fully seeded: the same -seed/-profile/-funcs always
+// produce byte-identical output, so corpora are reproducible from the
+// command line alone.
 //
 // Usage:
 //
@@ -10,18 +13,31 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"probedis/internal/synth"
 )
 
 func main() {
-	out := flag.String("o", "synth.elf", "output ELF path")
-	profile := flag.String("profile", "complex", "profile: gcc-O0, clang-O2, icc-vec, complex")
-	seed := flag.Int64("seed", 1, "generation seed")
-	funcs := flag.Int("funcs", 60, "number of functions")
-	truthPath := flag.String("truth", "", "also write ground truth (one line per byte class run)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "synth.elf", "output ELF path")
+	profile := fs.String("profile", "complex", "profile: gcc-O0, clang-O2, icc-vec, complex")
+	seed := fs.Int64("seed", 1, "generation seed")
+	funcs := fs.Int("funcs", 60, "number of functions")
+	truthPath := fs.String("truth", "", "also write ground truth (one line per byte class run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: synthgen -o bin.elf [-profile p] [-seed n] [-funcs n] [-truth t.txt]")
+		return 2
+	}
 
 	var prof *synth.Profile
 	for i := range synth.DefaultProfiles {
@@ -30,34 +46,38 @@ func main() {
 		}
 	}
 	if prof == nil {
-		fmt.Fprintf(os.Stderr, "synthgen: unknown profile %q\n", *profile)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "synthgen: unknown profile %q\n", *profile)
+		return 2
 	}
 
 	b, err := synth.Generate(synth.Config{Seed: *seed, Profile: *prof, NumFuncs: *funcs})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "synthgen:", err)
+		return 1
 	}
 	img, err := b.ELF()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "synthgen:", err)
+		return 1
 	}
 	if err := os.WriteFile(*out, img, 0o755); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "synthgen:", err)
+		return 1
 	}
 	counts := b.Truth.Counts()
-	fmt.Printf("%s: %d bytes text (%d code, %d data: %d jumptable, %d string, %d const, %d padding), %d funcs, %d insts\n",
+	fmt.Fprintf(stdout, "%s: %d bytes text (%d code, %d data: %d jumptable, %d string, %d const, %d padding), %d funcs, %d insts\n",
 		*out, len(b.Code), counts[synth.ClassCode],
 		b.Truth.DataBytes(), counts[synth.ClassJumpTable], counts[synth.ClassString],
 		counts[synth.ClassConst], counts[synth.ClassPadding],
 		len(b.Truth.FuncStarts), b.Truth.NumInsts())
 
 	if *truthPath == "" {
-		return
+		return 0
 	}
 	f, err := os.Create(*truthPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "synthgen:", err)
+		return 1
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
@@ -71,11 +91,8 @@ func main() {
 		i = j
 	}
 	if err := w.Flush(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "synthgen:", err)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "synthgen:", err)
-	os.Exit(1)
+	return 0
 }

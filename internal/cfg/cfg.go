@@ -6,6 +6,7 @@ package cfg
 import (
 	"sort"
 
+	"probedis/internal/obs"
 	"probedis/internal/superset"
 	"probedis/internal/x86"
 )
@@ -39,8 +40,16 @@ type CFG struct {
 // call targets, prologue anchors) — they are filtered to committed
 // instruction starts.
 func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
+	return BuildTrace(g, instStart, seeds, nil)
+}
+
+// BuildTrace is Build with stage tracing: leader discovery, block
+// formation and function-extent assignment each get a child span of sp.
+// A nil sp runs the exact untraced path.
+func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) *CFG {
 	n := g.Len()
 
+	lsp := sp.StartChild("leaders")
 	// Collect call targets from committed code as additional seeds.
 	leaders := map[int]bool{}
 	funcSet := map[int]bool{}
@@ -82,7 +91,10 @@ func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
 		}
 		prevEnd = off + g.Insts[off].Len
 	}
+	lsp.Count("leaders", int64(len(leaders)))
+	lsp.End()
 
+	bsp := sp.StartChild("blocks")
 	c := &CFG{Blocks: map[int]*Block{}}
 	for off := 0; off < n; off++ {
 		if !instStart[off] || !leaders[off] {
@@ -115,7 +127,10 @@ func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
 		c.starts = append(c.starts, off)
 	}
 	sort.Ints(c.starts)
+	bsp.Count("blocks", int64(len(c.starts)))
+	bsp.End()
 
+	fsp := sp.StartChild("funcs")
 	// Function extents: each function owns the blocks from its entry up to
 	// the next function entry.
 	var fstarts []int
@@ -136,6 +151,8 @@ func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
 		}
 		c.Funcs = append(c.Funcs, fn)
 	}
+	fsp.Count("funcs", int64(len(c.Funcs)))
+	fsp.End()
 	return c
 }
 

@@ -18,6 +18,7 @@ import (
 	"probedis/internal/cfg"
 	"probedis/internal/correct"
 	"probedis/internal/dis"
+	"probedis/internal/obs"
 	"probedis/internal/stats"
 	"probedis/internal/superset"
 )
@@ -136,7 +137,7 @@ func (d *Disassembler) Name() string { return "probedis" }
 // entry-point offset, or -1 when unknown.
 func (d *Disassembler) Disassemble(code []byte, base uint64, entry int) *dis.Result {
 	g := superset.Build(code, base)
-	return d.run(g, entry).Result
+	return d.run(g, entry, nil).Result
 }
 
 // Detail bundles the full pipeline output for callers that need more than
@@ -153,11 +154,17 @@ type Detail struct {
 
 // DisassembleDetail is Disassemble plus all intermediate products.
 func (d *Disassembler) DisassembleDetail(code []byte, base uint64, entry int) *Detail {
-	return d.run(superset.Build(code, base), entry)
+	return d.run(superset.Build(code, base), entry, nil)
 }
 
-func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
+// run executes the pipeline stages on a built superset graph. sp is the
+// enclosing (per-section) trace span, or nil when tracing is off; every
+// stage the section's wall time goes to is a direct child of sp, so a
+// rendered trace accounts for the whole run.
+func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
+	vsp := sp.StartChild("viability")
 	viable := analysis.Viability(g)
+	vsp.End()
 
 	// Scores are consumed by StatHints and the corrector's gap fill and
 	// never escape this call, so the slice cycles through a pool instead
@@ -166,9 +173,15 @@ func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 	if d.useStats {
 		scores = getScoreBuf(g.Len())
 		defer putScoreBuf(scores)
+		ssp := sp.StartChild("stats")
 		d.model.ScoreAllInto(scores, g, d.window)
+		ssp.Count("scored", int64(len(scores)))
+		ssp.End()
 	}
-	hints, tables := d.CollectHints(g, viable, entry, scores)
+	hsp := sp.StartChild("hints")
+	hints, tables := d.collectHints(g, viable, entry, scores, hsp)
+	hsp.Count("hints", int64(len(hints)))
+	hsp.End()
 	if d.flatPrio {
 		for i := range hints {
 			hints[i].Prio = analysis.PrioStat
@@ -176,8 +189,11 @@ func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 		}
 	}
 
-	out := correct.Run(g, viable, hints, correct.Options{Scores: scores})
+	csp := sp.StartChild("correct")
+	out := correct.Run(g, viable, hints, correct.Options{Scores: scores, Trace: csp})
+	csp.End()
 
+	esp := sp.StartChild("emit")
 	res := dis.NewResult(g.Base, g.Len())
 	for i, s := range out.State {
 		res.IsCode[i] = s == correct.Code
@@ -195,8 +211,13 @@ func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 			seeds = append(seeds, h.Off)
 		}
 	}
-	c := cfg.Build(g, out.InstStart, seeds)
+	esp.End()
+	fsp := sp.StartChild("cfg")
+	c := cfg.BuildTrace(g, out.InstStart, seeds, fsp)
 	res.FuncStarts = c.FuncStarts()
+	fsp.Count("blocks", int64(c.NumBlocks()))
+	fsp.Count("funcs", int64(len(c.Funcs)))
+	fsp.End()
 
 	return &Detail{
 		Result:  res,
@@ -222,48 +243,65 @@ func (d *Disassembler) run(g *superset.Graph, entry int) *Detail {
 // exactly the sequence the serial path produced, regardless of which
 // stage finished first.
 func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int, scores []float64) ([]analysis.Hint, []analysis.JumpTable) {
+	return d.collectHints(g, viable, entry, scores, nil)
+}
+
+// collectHints is CollectHints with tracing: each analysis runs inside
+// its own child span of sp — one span per analysis per worker goroutine —
+// recording the hint count it produced.
+func (d *Disassembler) collectHints(g *superset.Graph, viable []bool, entry int, scores []float64, sp *obs.Span) ([]analysis.Hint, []analysis.JumpTable) {
 	var tables []analysis.JumpTable
 
-	stages := []func() []analysis.Hint{
-		func() []analysis.Hint { return analysis.EntryHint(g, entry) },
+	type stage struct {
+		name string
+		fn   func() []analysis.Hint
+	}
+	stages := []stage{
+		{"entry", func() []analysis.Hint { return analysis.EntryHint(g, entry) }},
 	}
 	if d.useJumpTables {
-		stages = append(stages, func() []analysis.Hint {
+		stages = append(stages, stage{"jumptable", func() []analysis.Hint {
 			tables = analysis.FindJumpTables(g, viable)
 			return analysis.JumpTableHints(tables)
-		})
+		}})
 	}
 	stages = append(stages,
-		func() []analysis.Hint { return analysis.CallTargetHints(g, viable) },
-		func() []analysis.Hint { return analysis.PrologueHints(g, viable) },
-		func() []analysis.Hint { return analysis.DataPatternHints(g) },
-		func() []analysis.Hint { return analysis.LiteralPoolHints(g, viable) },
+		stage{"calltarget", func() []analysis.Hint { return analysis.CallTargetHints(g, viable) }},
+		stage{"prologue", func() []analysis.Hint { return analysis.PrologueHints(g, viable) }},
+		stage{"datapattern", func() []analysis.Hint { return analysis.DataPatternHints(g) }},
+		stage{"literalpool", func() []analysis.Hint { return analysis.LiteralPoolHints(g, viable) }},
 	)
 	if d.useFloatRuns {
-		stages = append(stages, func() []analysis.Hint { return analysis.FloatRunHints(g) })
+		stages = append(stages, stage{"floatrun", func() []analysis.Hint { return analysis.FloatRunHints(g) }})
 	}
 	if d.useStats && scores != nil {
-		stages = append(stages, func() []analysis.Hint {
+		stages = append(stages, stage{"stat", func() []analysis.Hint {
 			return analysis.StatHints(g, viable, scores, d.penaltyWeight, d.threshold)
-		})
+		}})
 	}
 
 	parts := make([][]analysis.Hint, len(stages))
+	runStage := func(i int) {
+		ssp := sp.StartChild(stages[i].name)
+		parts[i] = stages[i].fn()
+		ssp.Count("hints", int64(len(parts[i])))
+		ssp.End()
+	}
 	if workers := d.Workers(); workers <= 1 {
-		for i, stage := range stages {
-			parts[i] = stage()
+		for i := range stages {
+			runStage(i)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
-		for i, stage := range stages {
+		for i := range stages {
 			wg.Add(1)
-			go func(i int, stage func() []analysis.Hint) {
+			go func(i int) {
 				defer wg.Done()
 				sem <- struct{}{}
-				parts[i] = stage()
+				runStage(i)
 				<-sem
-			}(i, stage)
+			}(i)
 		}
 		wg.Wait()
 	}

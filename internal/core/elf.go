@@ -6,6 +6,7 @@ import (
 
 	"probedis/internal/dis"
 	"probedis/internal/elfx"
+	"probedis/internal/obs"
 	"probedis/internal/superset"
 )
 
@@ -32,9 +33,24 @@ type SectionDetail struct {
 // verification oracle, which uses it to replay a section under deliberately
 // wrong extern sets.
 func (d *Disassembler) DisassembleSection(code []byte, base uint64, entry int, extern []superset.Range) *Detail {
+	return d.DisassembleSectionTrace(code, base, entry, extern, nil)
+}
+
+// DisassembleSectionTrace is DisassembleSection with stage tracing: every
+// pipeline stage (superset build, viability, statistical scoring, each
+// hint analysis, correction with its sub-phases, CFG recovery) becomes a
+// child span of sp. A nil sp runs the exact untraced path.
+func (d *Disassembler) DisassembleSectionTrace(code []byte, base uint64, entry int, extern []superset.Range, sp *obs.Span) *Detail {
+	sp.SetBytes(int64(len(code)))
+	bsp := sp.StartChild("superset")
 	g := superset.Build(code, base)
+	if bsp != nil {
+		bsp.SetBytes(int64(len(code)))
+		bsp.Count("valid_insts", int64(g.ValidCount()))
+		bsp.End()
+	}
 	g.SetExtern(extern)
-	return d.run(g, entry)
+	return d.run(g, entry, sp)
 }
 
 // DisassembleELFDetail is DisassembleELF returning the full pipeline
@@ -46,7 +62,21 @@ func (d *Disassembler) DisassembleSection(code []byte, base uint64, entry int, e
 // disassembler's worker pool (see WithWorkers) and reassembled in section
 // order; the output is byte-identical to the serial path.
 func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error) {
+	return d.DisassembleELFTrace(img, nil)
+}
+
+// DisassembleELFTrace is DisassembleELFDetail with stage tracing: ELF
+// parsing and every per-section pipeline run become child spans of sp
+// (one "section" span per executable section, labelled with the section
+// name, with the stage spans nested under it). A nil sp runs the exact
+// untraced path. Under a parallel worker pool the section spans overlap
+// in time, so sibling durations may sum past the root's wall time; run
+// with WithWorkers(1) for an exact serial accounting.
+func (d *Disassembler) DisassembleELFTrace(img []byte, sp *obs.Span) ([]SectionDetail, error) {
+	psp := sp.StartChild("parse")
+	psp.SetBytes(int64(len(img)))
 	f, err := elfx.Parse(img)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +109,16 @@ func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error)
 	out := make([]SectionDetail, len(secs))
 	runSection := func(i int) {
 		s := &secs[i]
+		ssp := sp.StartChild("section")
+		ssp.SetLabel(s.Name)
 		out[i] = SectionDetail{
 			Name:   s.Name,
 			Addr:   s.Addr,
 			Data:   s.Data,
 			Entry:  entries[i],
-			Detail: d.DisassembleSection(s.Data, s.Addr, entries[i], externs[i]),
+			Detail: d.DisassembleSectionTrace(s.Data, s.Addr, entries[i], externs[i], ssp),
 		}
+		ssp.End()
 	}
 
 	workers := d.Workers()

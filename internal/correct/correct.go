@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"probedis/internal/analysis"
+	"probedis/internal/obs"
 	"probedis/internal/superset"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	Scores []float64
 	// NoGapFill leaves Unknown bytes unresolved (ablation).
 	NoGapFill bool
+	// Trace, when non-nil, receives one child span per correction phase
+	// (sort, commit, retract, gapfill) plus the committed/rejected/
+	// retracted counters. Nil (the default) traces nothing.
+	Trace *obs.Span
 }
 
 // Outcome is the result of a correction run.
@@ -86,11 +91,15 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 		o.Owner[i] = -1
 	}
 
+	ssp := opts.Trace.StartChild("sort")
 	order := sortOrder(hints)
+	ssp.Count("hints", int64(len(hints)))
+	ssp.End()
 
 	sc := scratchPool.Get().(*scratch)
 	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
 		stack: sc.stack, succs: sc.succs, chain: sc.chain}
+	csp := opts.Trace.StartChild("commit")
 	for i, hi := range order {
 		if opts.MaxHints > 0 && i >= opts.MaxHints {
 			break
@@ -110,10 +119,20 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 			o.Rejected++
 		}
 	}
+	csp.End()
 
+	rsp := opts.Trace.StartChild("retract")
 	o.Retracted = c.retract()
+	rsp.End()
 	if !opts.NoGapFill {
+		gsp := opts.Trace.StartChild("gapfill")
 		c.fillGaps(opts.Scores)
+		gsp.End()
+	}
+	if opts.Trace != nil {
+		opts.Trace.Count("committed", int64(o.Committed))
+		opts.Trace.Count("rejected", int64(o.Rejected))
+		opts.Trace.Count("retracted", int64(o.Retracted))
 	}
 
 	sc.stack, sc.succs, sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]

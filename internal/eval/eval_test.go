@@ -253,6 +253,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		{"T5", noErr(r.T5Throughput)},
 		{"T6", noErr(r.T6FunctionStarts)},
 		{"T7", noErr(r.T7PerProfile)},
+		{"T8", noErr(r.T8StageCost)},
 		{"F2", r.F2Scaling},
 		{"E1", r.E1Adversarial},
 	}

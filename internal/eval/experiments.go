@@ -401,7 +401,8 @@ func (r *Runner) E1Adversarial() (Table, error) {
 func (r *Runner) All() ([]Table, error) {
 	var out []Table
 	out = append(out, r.T1Corpus(), r.T2Accuracy(), r.T3DataCategories(),
-		r.T4Ablation(), r.T5Throughput(), r.T6FunctionStarts(), r.T7PerProfile())
+		r.T4Ablation(), r.T5Throughput(), r.T6FunctionStarts(), r.T7PerProfile(),
+		r.T8StageCost())
 	f1, err := r.F1Density()
 	if err != nil {
 		return nil, err

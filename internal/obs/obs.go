@@ -1,0 +1,226 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// hierarchical spans for per-stage wall time, bytes processed and
+// allocation deltas, plus a monotonic-counter registry rendered in
+// Prometheus text format (see metrics.go).
+//
+// The disabled path is a nil *Span. Every method has a nil-receiver fast
+// path that returns immediately, so instrumented code calls
+//
+//	sp := parent.StartChild("stage")
+//	... work ...
+//	sp.End()
+//
+// unconditionally, and an untraced run pays exactly one predictable
+// branch per call site (BenchmarkObsDisabled at the repo root verifies
+// the pipeline's end-to-end cost is unchanged).
+//
+// Spans are safe for concurrent use: the parallel pipeline starts
+// children from worker goroutines (one span per analysis, per worker),
+// so child registration and counter updates are mutex-guarded. Sibling
+// order is creation order — deterministic on the serial path, scheduler
+// order under workers.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Counter is one named monotonic tally attached to a span.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Span is one timed stage of a pipeline run, with optional children.
+// A nil *Span is the disabled tracer.
+type Span struct {
+	// Name identifies the stage ("superset", "correct/commit", ...).
+	// Metric folding aggregates by Name, so names must come from a fixed
+	// set; free-form context (a section name, a file path) goes in Label.
+	Name string
+	// Label is extra display-only context shown next to Name in the
+	// rendered tree and JSON, never used as an aggregation key.
+	Label string
+
+	start       time.Time
+	startAllocs uint64 // MemStats.Mallocs at StartChild
+	startBytes  uint64 // MemStats.TotalAlloc at StartChild
+
+	// Set by End.
+	Dur        time.Duration
+	Allocs     uint64 // heap objects allocated process-wide during the span
+	AllocBytes uint64 // heap bytes allocated process-wide during the span
+
+	// Bytes is the input size the stage processed (SetBytes).
+	Bytes int64
+
+	mu       sync.Mutex
+	counters []Counter
+	children []*Span
+
+	// memStats disables the ReadMemStats calls (WithoutMemStats): span
+	// trees built purely for timing skip the collection cost.
+	memStats bool
+}
+
+// NewTrace returns an enabled, started root span. Allocation deltas are
+// collected via runtime.ReadMemStats at span start and end; they are
+// process-wide, so concurrent spans double-count each other's
+// allocations (exact on the serial path, indicative under workers).
+func NewTrace(name string) *Span {
+	s := &Span{Name: name, memStats: true}
+	s.begin()
+	return s
+}
+
+// NewTraceTimeOnly is NewTrace without the per-span ReadMemStats
+// collection — for hot callers (the server traces every request) where
+// the stop-the-world cost of two MemStats reads per span matters.
+func NewTraceTimeOnly(name string) *Span {
+	s := &Span{Name: name}
+	s.begin()
+	return s
+}
+
+func (s *Span) begin() {
+	if s.memStats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.startAllocs = ms.Mallocs
+		s.startBytes = ms.TotalAlloc
+	}
+	s.start = time.Now()
+}
+
+// StartChild creates and starts a child span. On a nil receiver it
+// returns nil, so entire instrumented call trees collapse to nil checks
+// when tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, memStats: s.memStats}
+	c.begin()
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span, recording duration and allocation deltas. It
+// returns the span so call sites can end-and-read in one expression.
+func (s *Span) End() *Span {
+	if s == nil {
+		return nil
+	}
+	s.Dur = time.Since(s.start)
+	if s.memStats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.Allocs = ms.Mallocs - s.startAllocs
+		s.AllocBytes = ms.TotalAlloc - s.startBytes
+	}
+	return s
+}
+
+// SetBytes records the stage's input size.
+func (s *Span) SetBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.Bytes = n
+}
+
+// SetLabel attaches display-only context (see Label).
+func (s *Span) SetLabel(l string) {
+	if s == nil {
+		return
+	}
+	s.Label = l
+}
+
+// Count adds v to the span's named counter, creating it at zero first.
+func (s *Span) Count(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].Name == name {
+			s.counters[i].Value += v
+			return
+		}
+	}
+	s.counters = append(s.counters, Counter{Name: name, Value: v})
+}
+
+// Counter returns the value of the named counter (0 when absent or nil).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].Name == name {
+			return s.counters[i].Value
+		}
+	}
+	return 0
+}
+
+// Counters returns a copy of the span's counters in creation order.
+func (s *Span) Counters() []Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Counter, len(s.counters))
+	copy(out, s.counters)
+	return out
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// ChildSum returns the summed duration of direct children — the "covered"
+// wall time the rendered tree reports against the span's own duration.
+func (s *Span) ChildSum() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range s.Children() {
+		sum += c.Dur
+	}
+	return sum
+}
+
+// Walk visits the span and all descendants depth-first, passing the
+// nesting depth (0 for s itself).
+func (s *Span) Walk(visit func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	s.walk(visit, 0)
+}
+
+func (s *Span) walk(visit func(sp *Span, depth int), depth int) {
+	visit(s, depth)
+	for _, c := range s.Children() {
+		c.walk(visit, depth+1)
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsInert(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("StartChild on nil span must return nil")
+	}
+	// Every method must be a no-op, not a panic.
+	s.End()
+	s.SetBytes(10)
+	s.SetLabel("l")
+	s.Count("n", 1)
+	if s.Counter("n") != 0 || s.Counters() != nil || s.Children() != nil {
+		t.Fatal("nil span must read as empty")
+	}
+	if s.ChildSum() != 0 {
+		t.Fatal("nil ChildSum")
+	}
+	s.Walk(func(*Span, int) { t.Fatal("nil Walk must not visit") })
+	if err := WriteTree(&bytes.Buffer{}, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanTreeBasics(t *testing.T) {
+	root := NewTrace("root")
+	a := root.StartChild("a")
+	a.SetBytes(4096)
+	a.Count("hints", 3)
+	a.Count("hints", 2)
+	sink := make([]byte, 1<<16) // force some allocation inside the span
+	_ = sink[0]
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b := root.StartChild("b")
+	b.SetLabel(".text")
+	time.Sleep(time.Millisecond)
+	b.End()
+	root.End()
+
+	if root.Dur <= 0 || a.Dur <= 0 || b.Dur <= 0 {
+		t.Fatalf("durations not recorded: root=%v a=%v b=%v", root.Dur, a.Dur, b.Dur)
+	}
+	if root.Dur < a.Dur+b.Dur {
+		t.Fatalf("children exceed parent: root=%v sum=%v", root.Dur, a.Dur+b.Dur)
+	}
+	if got := a.Counter("hints"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if a.Counter("absent") != 0 {
+		t.Fatal("absent counter must read 0")
+	}
+	if cs := root.Children(); len(cs) != 2 || cs[0] != a || cs[1] != b {
+		t.Fatalf("children order: %v", cs)
+	}
+	if root.ChildSum() != a.Dur+b.Dur {
+		t.Fatal("ChildSum mismatch")
+	}
+	if a.Allocs == 0 || a.AllocBytes == 0 {
+		t.Fatalf("MemStats deltas missing: allocs=%d bytes=%d", a.Allocs, a.AllocBytes)
+	}
+
+	var names []string
+	root.Walk(func(sp *Span, depth int) { names = append(names, sp.Name) })
+	if want := []string{"root", "a", "b"}; strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("walk order %v", names)
+	}
+}
+
+func TestTimeOnlyTraceSkipsMemStats(t *testing.T) {
+	root := NewTraceTimeOnly("r")
+	c := root.StartChild("c")
+	buf := make([]byte, 1<<16)
+	_ = buf[0]
+	c.End()
+	root.End()
+	if c.Allocs != 0 || c.AllocBytes != 0 {
+		t.Fatalf("time-only trace collected MemStats: %d/%d", c.Allocs, c.AllocBytes)
+	}
+	if root.Dur <= 0 {
+		t.Fatal("duration missing")
+	}
+}
+
+// TestConcurrentChildren mirrors the parallel pipeline: many workers
+// start children and bump counters on a shared parent. Run under -race.
+func TestConcurrentChildren(t *testing.T) {
+	root := NewTrace("root")
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("worker")
+			c.Count("items", 1)
+			root.Count("total", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children()) != n {
+		t.Fatalf("children = %d, want %d", len(root.Children()), n)
+	}
+	if root.Counter("total") != n {
+		t.Fatalf("total = %d", root.Counter("total"))
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	root := NewTrace("disassemble")
+	s := root.StartChild("section")
+	s.SetLabel(".text")
+	s.SetBytes(2 << 20)
+	sub := s.StartChild("superset")
+	time.Sleep(time.Millisecond)
+	sub.End()
+	s.Count("hints", 42)
+	s.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"disassemble", "section .text", "superset", "hints=42", "2.0MiB", "[children"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("tree lines = %d, want 3:\n%s", lines, out)
+	}
+}
+
+func TestWriteTreeZeroDuration(t *testing.T) {
+	// A never-ended root must not divide by zero.
+	root := &Span{Name: "r"}
+	if err := WriteTree(&bytes.Buffer{}, root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	root := NewTrace("root")
+	c := root.StartChild("stage")
+	c.SetBytes(123)
+	c.Count("k", 7)
+	c.SetLabel("lbl")
+	time.Sleep(time.Millisecond)
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var got SpanJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if got.Name != "root" || len(got.Children) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	ch := got.Children[0]
+	if ch.Name != "stage" || ch.Label != "lbl" || ch.Bytes != 123 || ch.Counters["k"] != 7 {
+		t.Fatalf("child round trip: %+v", ch)
+	}
+	if ch.DurNS <= 0 || got.DurNS < ch.DurNS {
+		t.Fatalf("durations: root=%d child=%d", got.DurNS, ch.DurNS)
+	}
+	if ToJSON(nil).Name != "" {
+		t.Fatal("ToJSON(nil)")
+	}
+}
+
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("pd_requests_total", "requests served")
+	r.Counter("pd_requests_total", "code", "200").Add(3)
+	r.Counter("pd_requests_total", "code", "400").Add(1)
+	r.Counter("pd_bytes_total").Add(4096)
+	r.Gauge("pd_inflight", func() float64 { return 2 })
+	r.SetHelp("pd_inflight", "in-flight requests")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP pd_requests_total requests served",
+		"# TYPE pd_requests_total counter",
+		`pd_requests_total{code="200"} 3`,
+		`pd_requests_total{code="400"} 1`,
+		"pd_bytes_total 4096",
+		"# TYPE pd_inflight gauge",
+		"pd_inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE must appear once per base name, before any of its series.
+	if strings.Count(out, "# TYPE pd_requests_total counter") != 1 {
+		t.Error("duplicate TYPE line")
+	}
+	// Same counter object on repeat lookup.
+	if r.Counter("pd_bytes_total").Value() != 4096 {
+		t.Error("counter identity lost across lookups")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "p", `a"b\c`+"\n").Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `m_total{p="a\"b\\c\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestFoldSpans(t *testing.T) {
+	root := NewTraceTimeOnly("disassemble")
+	s := root.StartChild("superset")
+	s.SetBytes(100)
+	time.Sleep(time.Millisecond)
+	s.End()
+	root.End()
+
+	r := NewRegistry()
+	r.FoldSpans("pd", root)
+	r.FoldSpans("pd", root) // second request accumulates
+
+	if got := r.Counter("pd_stage_calls_total", "stage", "superset").Value(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if got := r.Counter("pd_stage_bytes_total", "stage", "superset").Value(); got != 200 {
+		t.Fatalf("bytes = %d, want 200", got)
+	}
+	if r.Counter("pd_stage_nanos_total", "stage", "superset").Value() <= 0 {
+		t.Fatal("nanos not folded")
+	}
+	if r.Counter("pd_stage_calls_total", "stage", "disassemble").Value() != 2 {
+		t.Fatal("root span not folded")
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c_total", "w", "x").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "w", "x").Value(); got != 1600 {
+		t.Fatalf("count = %d", got)
+	}
+}

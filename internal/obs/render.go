@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteTree renders the span tree as an indented per-stage table:
+// duration, share of the root's wall time, bytes processed (with derived
+// throughput), allocation deltas and counters. Every line is one span;
+// children are indented under their parent.
+func WriteTree(w io.Writer, root *Span) error {
+	if root == nil {
+		return nil
+	}
+	total := root.Dur
+	if total <= 0 {
+		total = 1 // degenerate zero-length trace: avoid div-by-zero
+	}
+	var err error
+	write := func(sp *Span, depth int) {
+		if err != nil {
+			return
+		}
+		name := sp.Name
+		if sp.Label != "" {
+			name += " " + sp.Label
+		}
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%-36s %12s %6.1f%%",
+			indent+name, fmtDur(sp.Dur), 100*float64(sp.Dur)/float64(total))
+		if sp.Bytes > 0 {
+			line += fmt.Sprintf("  %s (%s/s)", fmtBytes(sp.Bytes), fmtBytes(rate(sp.Bytes, sp.Dur)))
+		}
+		if sp.Allocs > 0 {
+			line += fmt.Sprintf("  %d allocs/%s", sp.Allocs, fmtBytes(int64(sp.AllocBytes)))
+		}
+		for _, c := range sp.Counters() {
+			line += fmt.Sprintf("  %s=%d", c.Name, c.Value)
+		}
+		if kids := sp.ChildSum(); len(sp.Children()) > 0 && sp.Dur > 0 {
+			line += fmt.Sprintf("  [children %.1f%%]", 100*float64(kids)/float64(sp.Dur))
+		}
+		_, err = fmt.Fprintln(w, line)
+	}
+	root.Walk(write)
+	return err
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func rate(bytes int64, d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(float64(bytes) / d.Seconds())
+}
+
+// SpanJSON is the machine-readable form of one span, as emitted by
+// WriteJSON (`disasm -trace-json`, the disasmd trace response).
+type SpanJSON struct {
+	Name       string           `json:"name"`
+	Label      string           `json:"label,omitempty"`
+	DurNS      int64            `json:"dur_ns"`
+	Bytes      int64            `json:"bytes,omitempty"`
+	Allocs     uint64           `json:"allocs,omitempty"`
+	AllocBytes uint64           `json:"alloc_bytes,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []SpanJSON       `json:"children,omitempty"`
+}
+
+// ToJSON converts the span tree into its serializable form.
+func ToJSON(s *Span) SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	out := SpanJSON{
+		Name:       s.Name,
+		Label:      s.Label,
+		DurNS:      int64(s.Dur),
+		Bytes:      s.Bytes,
+		Allocs:     s.Allocs,
+		AllocBytes: s.AllocBytes,
+	}
+	if cs := s.Counters(); len(cs) > 0 {
+		out.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			out.Counters[c.Name] = c.Value
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, ToJSON(c))
+	}
+	return out
+}
+
+// WriteJSON emits the span tree as one indented JSON document.
+func WriteJSON(w io.Writer, s *Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(s))
+}

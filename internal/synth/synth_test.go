@@ -131,6 +131,23 @@ func TestDeterminism(t *testing.T) {
 			t.Fatalf("truth differs at +%#x", i)
 		}
 	}
+	if len(a.Truth.InstStart) != len(b.Truth.InstStart) ||
+		len(a.Truth.FuncStarts) != len(b.Truth.FuncStarts) {
+		t.Fatal("instruction/function ground truth differs between runs")
+	}
+	// The emitted ELF image must be byte-identical too: synthgen with an
+	// explicit -seed is the corpus-reproduction contract.
+	aimg, err := a.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bimg, err := b.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aimg) != string(bimg) {
+		t.Fatal("ELF emission is not deterministic")
+	}
 }
 
 // TestSeedsDiffer: different seeds produce different binaries.
