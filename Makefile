@@ -28,7 +28,8 @@ bench:
 # CI smoke variant: single iteration per benchmark, report-only (noisy
 # shared runners must not fail the build), baseline never overwritten.
 bench-smoke:
-	go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee /tmp/bench-smoke.out
+	PROBEDIS_ALLOC_REPORT=/tmp/alloc-report.jsonl \
+		go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee /tmp/bench-smoke.out
 	go run ./cmd/benchdiff -in /tmp/bench-smoke.out -dir . -report-only
 
 # Statement-coverage floor for every internal/ package. Prints the

@@ -11,6 +11,8 @@ package probedis
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -381,6 +383,130 @@ func BenchmarkViability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		analysis.Viability(g)
 	}
+}
+
+// largeSection lazily builds a production-scale synthetic text section
+// (>= 8 MiB) by concatenating ground-truthed binaries generated at
+// cumulative base addresses, so branch targets stay internally consistent
+// across the whole buffer. Built once: generation is setup cost.
+var (
+	largeOnce  sync.Once
+	largeCode  []byte
+	largeBase  uint64
+	largeEntry int
+)
+
+const largeSectionMin = 8 << 20
+
+func largeSection(b *testing.B) ([]byte, uint64) {
+	b.Helper()
+	largeOnce.Do(func() {
+		largeBase = 0x401000
+		addr := largeBase
+		var buf []byte
+		for seed := int64(9000); len(buf) < largeSectionMin; seed++ {
+			bin, err := synth.Generate(synth.Config{
+				Seed:     seed,
+				Profile:  synth.DefaultProfiles[int(seed)%len(synth.DefaultProfiles)],
+				NumFuncs: 300,
+				Base:     addr,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if len(buf) == 0 {
+				largeEntry = int(bin.Entry - bin.Base)
+			}
+			buf = append(buf, bin.Code...)
+			addr += uint64(len(bin.Code))
+		}
+		largeCode = buf
+	})
+	return largeCode, largeBase
+}
+
+// residentFactor measures how much heap the superset graph itself retains
+// per section byte: HeapAlloc delta across a Build with forced GCs on both
+// sides, divided by the section size. The packed side-table target is
+// <= 24x (16 B/offset of Info plus slack); the eager representation was
+// ~130x.
+func residentFactor(code []byte, base uint64) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	g := superset.Build(code, base)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	runtime.KeepAlive(g)
+	return delta / float64(len(code))
+}
+
+// writeAllocReport appends the obs trace (per-span process-wide alloc
+// deltas) as a JSON line to $PROBEDIS_ALLOC_REPORT, the artifact the CI
+// bench-smoke job uploads. No-op when the variable is unset.
+func writeAllocReport(b *testing.B, tr *obs.Span) {
+	b.Helper()
+	path := os.Getenv("PROBEDIS_ALLOC_REPORT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteJSON(f, tr); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLargeSectionSuperset pins the compact-graph win on a
+// production-scale section: superset decode of an >= 8 MiB text buffer,
+// reporting the graph's resident footprint per section byte (resident_x)
+// and the obs-tracked allocation volume alongside the standard ns/op and
+// -benchmem numbers.
+func BenchmarkLargeSectionSuperset(b *testing.B) {
+	code, base := largeSection(b)
+	b.SetBytes(int64(len(code)))
+	resident := residentFactor(code, base)
+	tr := obs.NewTrace("large-superset")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartChild("build")
+		g := superset.Build(code, base)
+		sp.SetBytes(int64(len(code)))
+		sp.End()
+		runtime.KeepAlive(g)
+	}
+	b.StopTimer()
+	tr.End()
+	// Reported after ResetTimer, which clears earlier custom metrics.
+	b.ReportMetric(resident, "resident_x")
+	b.ReportMetric(float64(tr.AllocBytes)/float64(b.N), "obs-alloc-B/op")
+	writeAllocReport(b, tr)
+}
+
+// BenchmarkLargeSectionPipeline runs the full core pipeline over the
+// large section: the end-to-end cost of disassembling a binary the size
+// the disasmd service targets.
+func BenchmarkLargeSectionPipeline(b *testing.B) {
+	e := benchSetup(b)
+	code, base := largeSection(b)
+	d := core.New(e.model)
+	b.SetBytes(int64(len(code)))
+	tr := obs.NewTrace("large-pipeline")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartChild("disassemble")
+		d.Disassemble(code, base, largeEntry)
+		sp.SetBytes(int64(len(code)))
+		sp.End()
+	}
+	b.StopTimer()
+	tr.End()
+	b.ReportMetric(float64(tr.AllocBytes)/float64(b.N), "obs-alloc-B/op")
+	writeAllocReport(b, tr)
 }
 
 // BenchmarkE1Adversarial regenerates the anti-disassembly extension

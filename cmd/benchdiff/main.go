@@ -1,7 +1,8 @@
 // Command benchdiff is the benchmark-regression gate: it parses `go test
 // -bench` output into a dated JSON baseline and compares it against the
-// last committed baseline, failing on ns/op regressions beyond the
-// threshold.
+// last committed baseline, failing on ns/op, B/op or allocs/op
+// regressions beyond the threshold — time and memory wins are both locked
+// in by the baseline.
 //
 //	go test -run='^$' -bench=. -benchmem . | benchdiff -write BENCH_2026-08-05.json -dir .
 //
@@ -62,7 +63,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	write := fs.String("write", "", "write parsed results to this JSON file")
 	dir := fs.String("dir", ".", "directory scanned for the latest BENCH_<date>.json baseline")
 	baselinePath := fs.String("baseline", "", "explicit baseline JSON (overrides -dir scan)")
-	threshold := fs.Float64("threshold", 15, "max tolerated ns/op regression in percent")
+	threshold := fs.Float64("threshold", 15, "max tolerated ns/op, B/op or allocs/op regression in percent")
 	reportOnly := fs.Bool("report-only", false, "print the comparison but always exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,7 +111,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if base == nil {
 		fmt.Fprintln(stdout, "benchdiff: no baseline found; this run becomes the first baseline")
 	} else {
-		fmt.Fprintf(stdout, "benchdiff: comparing against %s (threshold %+.0f%% ns/op)\n", basePath, *threshold)
+		fmt.Fprintf(stdout, "benchdiff: comparing against %s (threshold %+.0f%% ns/op, B/op, allocs/op)\n", basePath, *threshold)
 		regressed = report(stdout, base.Benchmarks, benches, *threshold)
 	}
 
@@ -232,8 +233,10 @@ func parseBench(r io.Reader) ([]Bench, error) {
 }
 
 // report prints the per-benchmark comparison and returns whether any
-// ns/op regression exceeds threshold percent. Added and removed
-// benchmarks are informational, never failures.
+// ns/op, B/op or allocs/op regression exceeds threshold percent. A metric
+// missing from the baseline (older files predate -benchmem capture, and
+// an exact zero has no meaningful percentage) is informational only.
+// Added and removed benchmarks are informational, never failures.
 func report(w io.Writer, old, cur []Bench, threshold float64) bool {
 	byName := map[string]Bench{}
 	for _, b := range old {
@@ -247,14 +250,16 @@ func report(w io.Writer, old, cur []Bench, threshold float64) bool {
 			continue
 		}
 		delete(byName, b.Name)
-		delta := 100 * (b.NsOp - o.NsOp) / o.NsOp
 		status := "ok"
-		if delta > threshold {
+		nsDelta, nsBad := metricDelta(o.NsOp, b.NsOp, threshold)
+		bytesDelta, bytesBad := metricDelta(o.BytesOp, b.BytesOp, threshold)
+		allocsDelta, allocsBad := metricDelta(o.AllocsOp, b.AllocsOp, threshold)
+		if nsBad || bytesBad || allocsBad {
 			status = "REGRESSION"
 			regressed = true
 		}
-		fmt.Fprintf(w, "  %-44s %12.0f -> %12.0f ns/op  %+7.1f%%  allocs %s  %s\n",
-			b.Name, o.NsOp, b.NsOp, delta, allocDelta(o, b), status)
+		fmt.Fprintf(w, "  %-44s %12.0f -> %12.0f ns/op  %s  bytes %s  allocs %s  %s\n",
+			b.Name, o.NsOp, b.NsOp, nsDelta, bytesDelta, allocsDelta, status)
 	}
 	var gone []string
 	for name := range byName {
@@ -267,9 +272,13 @@ func report(w io.Writer, old, cur []Bench, threshold float64) bool {
 	return regressed
 }
 
-func allocDelta(o, b Bench) string {
-	if o.AllocsOp == 0 {
-		return "n/a"
+// metricDelta formats the percent change of one metric and reports whether
+// it regresses past threshold. A zero/absent baseline value cannot yield a
+// percentage and never fails the gate.
+func metricDelta(old, cur, threshold float64) (string, bool) {
+	if old == 0 {
+		return "    n/a", false
 	}
-	return fmt.Sprintf("%+.1f%%", 100*(b.AllocsOp-o.AllocsOp)/o.AllocsOp)
+	d := 100 * (cur - old) / old
+	return fmt.Sprintf("%+7.1f%%", d), d > threshold
 }

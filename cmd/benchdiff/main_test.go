@@ -155,6 +155,50 @@ func TestRunWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+func TestRunMemoryRegressionFails(t *testing.T) {
+	// ns/op is flat but B/op doubled: the memory gate alone must fail.
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 120000000, BytesOp: 2500000, AllocsOp: 40000},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (bytes_op regression)\nstdout: %s", code, stdout.String())
+	}
+}
+
+func TestRunAllocsRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 120000000, BytesOp: 5000000, AllocsOp: 30000},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (allocs_op regression)\nstdout: %s", code, stdout.String())
+	}
+}
+
+func TestRunMissingMemoryBaselineIsNotRegression(t *testing.T) {
+	// Baselines predating -benchmem have no B/op or allocs/op fields; the
+	// memory gate must not fire against a zero denominator.
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_2026-07-01.json", []Bench{
+		{Name: "BenchmarkT1InstF1", NsOp: 120000000},
+		{Name: "BenchmarkT5Throughput", NsOp: 200000000},
+		{Name: "BenchmarkObsDisabled", NsOp: 12345},
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "n/a") {
+		t.Errorf("missing-baseline metrics should print n/a:\n%s", stdout.String())
+	}
+}
+
 func TestRunExplicitBaseline(t *testing.T) {
 	dir := t.TempDir()
 	writeBaseline(t, dir, "BENCH_2026-01-01.json", []Bench{

@@ -28,7 +28,7 @@ func TestViabilityCoversTruth(t *testing.T) {
 			for off, s := range b.Truth.InstStart {
 				if s && !viable[off] {
 					t.Fatalf("true instruction at +%#x marked non-viable (op %v)",
-						off, g.Insts[off].Op)
+						off, g.Info[off].Op)
 				}
 			}
 			// And it must prune something (data offsets that derail).

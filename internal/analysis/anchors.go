@@ -10,7 +10,7 @@ import (
 
 // EntryHint anchors the program entry point as proven code.
 func EntryHint(g *superset.Graph, entry int) []Hint {
-	if entry < 0 || entry >= g.Len() || !g.Valid[entry] {
+	if entry < 0 || entry >= g.Len() || !g.Valid(entry) {
 		return nil
 	}
 	return []Hint{{Kind: HintCode, Off: entry, Prio: PrioProof, Score: math.Inf(1), Src: "entry"}}
@@ -27,10 +27,10 @@ func CallTargetHints(g *superset.Graph, viable []bool) []Hint {
 	// run-to-run, and hint collection must be deterministic.
 	callers := make([]int32, g.Len())
 	for off := 0; off < g.Len(); off++ {
-		if !viable[off] || g.Insts[off].Flow != x86.FlowCall {
+		if !viable[off] || g.Info[off].Flow != x86.FlowCall {
 			continue
 		}
-		if t := g.OffsetOf(g.Insts[off].Target); t >= 0 && viable[t] {
+		if t := g.TargetOff(off); t >= 0 && viable[t] {
 			callers[t]++
 		}
 	}
@@ -70,7 +70,7 @@ func PrologueHints(g *superset.Graph, viable []bool) []Hint {
 	var hs []Hint
 	code := g.Code
 	for off := 0; off < len(code); off++ {
-		if !viable[off] {
+		if !viable[off] || !prologueFirstByte[code[off]] {
 			continue
 		}
 		matched := false
@@ -100,6 +100,16 @@ func PrologueHints(g *superset.Graph, viable []bool) []Hint {
 	}
 	return hs
 }
+
+// prologueFirstByte marks bytes that begin some prologue pattern, so the
+// scan rejects most offsets with a single table load instead of running
+// the pattern loop.
+var prologueFirstByte = func() (t [256]bool) {
+	for _, p := range prologuePatterns {
+		t[p[0]] = true
+	}
+	return
+}()
 
 func bytesEq(a, b []byte) bool {
 	for i := range b {

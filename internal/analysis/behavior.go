@@ -19,16 +19,16 @@ import (
 func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
 	var penalty float64
 	var stack int64
-	for n := 0; n < window && off < g.Len() && g.Valid[off]; n++ {
-		inst := &g.Insts[off]
-		if inst.Rare {
+	for n := 0; n < window && off < g.Len() && g.Valid(off); n++ {
+		e := &g.Info[off]
+		if e.Rare() {
 			penalty += 3
 		}
-		if inst.Prefix&x86.PrefixSeg != 0 {
+		if e.SegPrefix() {
 			penalty += 1.5 // segment overrides are rare in 64-bit code
 		}
-		stack += int64(inst.StackDelta)
-		if inst.Op == x86.LEAVE || inst.Op == x86.ENTER {
+		stack += int64(e.StackDelta)
+		if e.Op == x86.LEAVE || e.Op == x86.ENTER {
 			stack = 0 // frame reset; delta no longer tracked
 		}
 		switch {
@@ -37,10 +37,10 @@ func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
 		case stack < -65536:
 			penalty += 2 // absurd frame allocation
 		}
-		if !inst.Flow.HasFallthrough() {
+		if !e.Flow.HasFallthrough() {
 			break
 		}
-		off += inst.Len
+		off += int(e.Len)
 	}
 	return penalty
 }
@@ -60,11 +60,18 @@ func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
 func StatHints(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64) []Hint {
 	hs := make([]Hint, 0, g.Len()/2)
 	for off := 0; off < g.Len(); off++ {
-		if !g.Valid[off] {
+		if !g.Valid(off) {
 			continue
 		}
 		s := scores[off]
 		if s <= -1e8 {
+			continue
+		}
+		// The penalty is non-negative, so when the raw score is already at
+		// or below the threshold (or the offset is not viable) no hint can
+		// result — skip the 8-step chain walk entirely. Only valid when the
+		// weight cannot flip the penalty's sign.
+		if penaltyWeight >= 0 && (s-threshold <= 0 || !viable[off]) {
 			continue
 		}
 		s -= penaltyWeight * BehaviorPenalty(g, off, 8)

@@ -31,28 +31,32 @@ const maxTableEntries = 1024
 func FindJumpTables(g *superset.Graph, viable []bool) []JumpTable {
 	var out []JumpTable
 	for off := 0; off < g.Len(); off++ {
-		if !viable[off] || !g.Valid[off] {
+		e := &g.Info[off]
+		if !viable[off] || !e.Valid() {
 			continue
 		}
-		inst := &g.Insts[off]
 
 		// Idiom 1: indirect jmp with scaled-index, no base, abs32 disp.
-		if inst.Flow == x86.FlowIndirectJump && inst.HasMem &&
-			inst.Mem.Index != x86.RegNone && inst.Mem.Scale == 8 &&
-			inst.Mem.Base == x86.RegNone {
-			if tbl := g.OffsetOf(uint64(inst.Mem.Disp)); tbl >= 0 {
-				if jt, ok := scanAbsTable(g, viable, off, tbl); ok {
-					out = append(out, jt)
+		// The packed record narrows candidates to memory-indirect jumps;
+		// the operand shape needs the materialized instruction.
+		if e.Flow == x86.FlowIndirectJump && e.HasMem() {
+			inst := g.InstAt(off)
+			if inst.Mem.Index != x86.RegNone && inst.Mem.Scale == 8 &&
+				inst.Mem.Base == x86.RegNone {
+				if tbl := g.OffsetOf(uint64(inst.Mem.Disp)); tbl >= 0 {
+					if jt, ok := scanAbsTable(g, viable, off, tbl); ok {
+						out = append(out, jt)
+					}
 				}
+				continue
 			}
-			continue
 		}
 
 		// Idioms 2 and 3 start from a RIP-relative lea.
-		if inst.Op != x86.LEA || !inst.HasMem || inst.Mem.Base != x86.RIP {
+		if e.Op != x86.LEA || !e.HasMem() || !e.MemBaseRIP() {
 			continue
 		}
-		addr, ok := inst.MemAddr()
+		addr, ok := g.MemAddrAt(off)
 		if !ok {
 			continue
 		}
@@ -60,7 +64,8 @@ func FindJumpTables(g *superset.Graph, viable []bool) []JumpTable {
 		if tbl < 0 {
 			continue
 		}
-		base := inst.Writes // the register holding the table address
+		lea := g.InstAt(off)
+		base := lea.Writes // the register holding the table address
 		if jt, ok := matchLeaDispatch(g, viable, off, tbl, base); ok {
 			out = append(out, jt)
 		}
@@ -71,11 +76,12 @@ func FindJumpTables(g *superset.Graph, viable []bool) []JumpTable {
 // matchLeaDispatch walks the chain after a lea to find the scaled load and
 // the indirect jump through the loaded register.
 func matchLeaDispatch(g *superset.Graph, viable []bool, leaOff, tbl int, baseReg uint32) (JumpTable, bool) {
-	off := leaOff + g.Insts[leaOff].Len
+	off := leaOff + int(g.Info[leaOff].Len)
 	var loadedReg uint32
 	entrySz := 0
-	for step := 0; step < 8 && off < g.Len() && g.Valid[off]; step++ {
-		inst := &g.Insts[off]
+	for step := 0; step < 8 && off < g.Len() && g.Valid(off); step++ {
+		// At most 8 steps per lea candidate: materializing each is cheap.
+		inst := g.InstAt(off)
 		switch {
 		case entrySz == 0 && inst.HasMem && inst.Mem.Base != x86.RegNone &&
 			inst.Mem.Base.Bit()&baseReg != 0 && inst.Mem.Index != x86.RegNone:
@@ -114,21 +120,22 @@ func boundFrom(g *superset.Graph, site int) int {
 		lo = 0
 	}
 	for o := lo; o < site; o++ {
-		if !g.Valid[o] {
+		e := &g.Info[o]
+		if !e.Valid() || e.Op != x86.CMP || !e.HasImm() {
 			continue
 		}
-		inst := &g.Insts[o]
-		if inst.Op != x86.CMP || !inst.HasImm || inst.Imm < 0 || inst.Imm >= maxTableEntries {
+		inst := g.InstAt(o) // immediate value lives only on the full decode
+		if inst.Imm < 0 || inst.Imm >= maxTableEntries {
 			continue
 		}
 		// Does the chain from o reach site?
 		p := o
 		for step := 0; step < 6 && p < site; step++ {
-			if !g.Valid[p] || !g.Insts[p].Flow.HasFallthrough() {
+			if !g.Valid(p) || !g.Info[p].Flow.HasFallthrough() {
 				p = -1
 				break
 			}
-			p += g.Insts[p].Len
+			p += int(g.Info[p].Len)
 		}
 		if p == site {
 			return int(inst.Imm) + 1

@@ -95,24 +95,24 @@ func LiteralPoolHints(g *superset.Graph, viable []bool) []Hint {
 			Prio: PrioStrong, Score: float64(n), Src: "litpool"})
 	}
 	for off := 0; off < g.Len(); off++ {
-		if !viable[off] || !g.Valid[off] {
+		e := &g.Info[off]
+		if !viable[off] || !e.Valid() {
 			continue
 		}
-		inst := &g.Insts[off]
 
 		// Direct rip-relative FP load: movsd xmm, [rip+disp].
-		if isFPLoadOp(inst.Op) && inst.HasMem && inst.Mem.Base == x86.RIP {
-			if addr, ok := inst.MemAddr(); ok {
+		if isFPLoadOp(e.Op) && e.HasMem() && e.MemBaseRIP() {
+			if addr, ok := g.MemAddrAt(off); ok {
 				add(g.OffsetOf(addr), 8)
 			}
 			continue
 		}
 
 		// lea r, [rip+pool]; ... fpload [r] within a short chain.
-		if inst.Op != x86.LEA || !inst.HasMem || inst.Mem.Base != x86.RIP {
+		if e.Op != x86.LEA || !e.HasMem() || !e.MemBaseRIP() {
 			continue
 		}
-		addr, ok := inst.MemAddr()
+		addr, ok := g.MemAddrAt(off)
 		if !ok {
 			continue
 		}
@@ -120,10 +120,13 @@ func LiteralPoolHints(g *superset.Graph, viable []bool) []Hint {
 		if poolOff < 0 {
 			continue
 		}
-		baseReg := inst.Writes
-		p := off + inst.Len
-		for step := 0; step < 6 && p < g.Len() && g.Valid[p]; step++ {
-			ni := &g.Insts[p]
+		lea := g.InstAt(off)
+		baseReg := lea.Writes
+		p := off + int(e.Len)
+		for step := 0; step < 6 && p < g.Len() && g.Valid(p); step++ {
+			// Short chain (≤6 steps) only behind a rip-relative lea:
+			// materializing each step stays off the hot path.
+			ni := g.InstAt(p)
 			if ni.HasMem && ni.Mem.Base != x86.RegNone &&
 				ni.Mem.Base.Bit()&baseReg != 0 && ni.Mem.Index == x86.RegNone &&
 				isFPLoadOp(ni.Op) {

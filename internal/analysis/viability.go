@@ -52,7 +52,7 @@ func Viability(g *superset.Graph) []bool {
 
 	succs := sc.succs
 	for off := 0; off < n; off++ {
-		if !g.Valid[off] {
+		if !g.Valid(off) {
 			work = append(work, off)
 			continue
 		}

@@ -41,15 +41,16 @@ func traverse(g *superset.Graph, res *dis.Result, seeds []int) {
 	for len(stack) > 0 {
 		off := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if off < 0 || off >= g.Len() || res.InstStart[off] || !g.Valid[off] {
+		if off < 0 || off >= g.Len() || res.InstStart[off] || !g.Valid(off) {
 			continue
 		}
-		inst := &g.Insts[off]
+		length := int(g.Info[off].Len)
 		res.InstStart[off] = true
-		for i := off; i < off+inst.Len && i < g.Len(); i++ {
+		for i := off; i < off+length && i < g.Len(); i++ {
 			res.IsCode[i] = true
 		}
-		for _, s := range g.ForcedSuccs(succs[:0], off) {
+		succs = g.ForcedSuccs(succs[:0], off)
+		for _, s := range succs {
 			if s >= 0 {
 				stack = append(stack, s)
 			}
@@ -64,10 +65,10 @@ func callTargets(g *superset.Graph, res *dis.Result, into []int) []int {
 		seen[f] = true
 	}
 	for off := 0; off < g.Len(); off++ {
-		if !res.InstStart[off] || g.Insts[off].Flow != x86.FlowCall {
+		if !res.InstStart[off] || g.Info[off].Flow != x86.FlowCall {
 			continue
 		}
-		if t := g.OffsetOf(g.Insts[off].Target); t >= 0 && res.InstStart[t] && !seen[t] {
+		if t := g.TargetOff(off); t >= 0 && res.InstStart[t] && !seen[t] {
 			seen[t] = true
 			into = append(into, t)
 		}
@@ -108,7 +109,7 @@ func (RecursiveHeur) Disassemble(code []byte, base uint64, entry int) *dis.Resul
 	for {
 		var more []int
 		for off := 0; off < len(code); off++ {
-			if res.IsCode[off] || !g.Valid[off] {
+			if res.IsCode[off] || !g.Valid(off) {
 				continue
 			}
 			for _, p := range prologueBytes {

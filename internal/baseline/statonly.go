@@ -33,7 +33,7 @@ func (s *StatOnly) Disassemble(code []byte, base uint64, entry int) *dis.Result 
 
 	order := make([]int, 0, len(code))
 	for off := range code {
-		if g.Valid[off] && scores[off] > 0 {
+		if g.Valid(off) && scores[off] > 0 {
 			order = append(order, off)
 		}
 	}
@@ -49,7 +49,7 @@ func (s *StatOnly) Disassemble(code []byte, base uint64, entry int) *dis.Result 
 		owner[i] = -1
 	}
 	for _, off := range order {
-		length := g.Insts[off].Len
+		length := int(g.Info[off].Len)
 		ok := true
 		for i := off; i < off+length; i++ {
 			if owner[i] != -1 {

@@ -4,8 +4,6 @@
 package cfg
 
 import (
-	"sort"
-
 	"probedis/internal/obs"
 	"probedis/internal/superset"
 	"probedis/internal/x86"
@@ -51,33 +49,44 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 
 	lsp := sp.StartChild("leaders")
 	// Collect call targets from committed code as additional seeds.
-	leaders := map[int]bool{}
-	funcSet := map[int]bool{}
+	// leaders and funcSet are dense bitmaps rather than maps: every loop
+	// below scans offsets in order anyway, and bitmaps keep this stage
+	// allocation-flat. leaders has n+1 slots because a terminator ending
+	// flush with the section marks off+len == n.
+	leaders := make([]bool, n+1)
+	funcSet := make([]bool, n)
+	nleaders := 0
+	mark := func(off int) {
+		if !leaders[off] {
+			leaders[off] = true
+			nleaders++
+		}
+	}
 	for _, s := range seeds {
 		if s >= 0 && s < n && instStart[s] {
 			funcSet[s] = true
-			leaders[s] = true
+			mark(s)
 		}
 	}
 	for off := 0; off < n; off++ {
 		if !instStart[off] {
 			continue
 		}
-		inst := &g.Insts[off]
-		switch inst.Flow {
+		e := &g.Info[off]
+		switch e.Flow {
 		case x86.FlowCall:
-			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
+			if t := g.TargetOff(off); t >= 0 && instStart[t] {
 				funcSet[t] = true
-				leaders[t] = true
+				mark(t)
 			}
-			leaders[off+inst.Len] = true
+			mark(off + int(e.Len))
 		case x86.FlowJump, x86.FlowCondJump:
-			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
-				leaders[t] = true
+			if t := g.TargetOff(off); t >= 0 && instStart[t] {
+				mark(t)
 			}
-			leaders[off+inst.Len] = true
+			mark(off + int(e.Len))
 		case x86.FlowIndirectJump, x86.FlowIndirectCall, x86.FlowRet, x86.FlowHalt:
-			leaders[off+inst.Len] = true
+			mark(off + int(e.Len))
 		}
 	}
 	// The first instruction of any maximal code run is a leader.
@@ -87,33 +96,44 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 			continue
 		}
 		if off != prevEnd {
-			leaders[off] = true
+			mark(off)
 		}
-		prevEnd = off + g.Insts[off].Len
+		prevEnd = off + int(g.Info[off].Len)
 	}
-	lsp.Count("leaders", int64(len(leaders)))
+	lsp.Count("leaders", int64(nleaders))
 	lsp.End()
 
 	bsp := sp.StartChild("blocks")
-	c := &CFG{Blocks: map[int]*Block{}}
+	// Count blocks first so the arena is exactly sized: pointers into it
+	// stay valid because it never reallocates, and the whole CFG costs one
+	// backing array instead of one allocation per block.
+	nb := 0
+	for off := 0; off < n; off++ {
+		if instStart[off] && leaders[off] {
+			nb++
+		}
+	}
+	arena := make([]Block, 0, nb)
+	c := &CFG{Blocks: make(map[int]*Block, nb), starts: make([]int, 0, nb)}
 	for off := 0; off < n; off++ {
 		if !instStart[off] || !leaders[off] {
 			continue
 		}
-		b := &Block{Start: off}
+		arena = append(arena, Block{Start: off})
+		b := &arena[len(arena)-1]
 		pos := off
 		for {
-			inst := &g.Insts[pos]
-			next := pos + inst.Len
+			e := &g.Info[pos]
+			next := pos + int(e.Len)
 			b.End = next
-			b.Terminator = inst.Flow
-			if t := g.OffsetOf(inst.Target); t >= 0 && instStart[t] {
-				switch inst.Flow {
+			b.Terminator = e.Flow
+			if t := g.TargetOff(pos); t >= 0 && instStart[t] {
+				switch e.Flow {
 				case x86.FlowJump, x86.FlowCondJump:
 					b.Succs = append(b.Succs, t)
 				}
 			}
-			if inst.Flow.HasFallthrough() && next < n && instStart[next] {
+			if e.Flow.HasFallthrough() && next < n && instStart[next] {
 				if leaders[next] {
 					b.Succs = append(b.Succs, next)
 					break
@@ -126,28 +146,35 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 		c.Blocks[off] = b
 		c.starts = append(c.starts, off)
 	}
-	sort.Ints(c.starts)
+	// starts is built by an ascending scan, so it is already sorted.
 	bsp.Count("blocks", int64(len(c.starts)))
 	bsp.End()
 
 	fsp := sp.StartChild("funcs")
 	// Function extents: each function owns the blocks from its entry up to
-	// the next function entry.
+	// the next function entry. The ascending funcSet scan yields entries
+	// pre-sorted, and block starts are consumed with a single cursor since
+	// extents are disjoint and ascending.
 	var fstarts []int
-	for f := range funcSet {
-		fstarts = append(fstarts, f)
+	for f := 0; f < n; f++ {
+		if funcSet[f] {
+			fstarts = append(fstarts, f)
+		}
 	}
-	sort.Ints(fstarts)
+	c.Funcs = make([]Func, 0, len(fstarts))
+	si := 0
 	for i, f := range fstarts {
 		end := n
 		if i+1 < len(fstarts) {
 			end = fstarts[i+1]
 		}
+		for si < len(c.starts) && c.starts[si] < f {
+			si++
+		}
 		fn := Func{Entry: f}
-		for _, s := range c.starts {
-			if s >= f && s < end {
-				fn.Blocks = append(fn.Blocks, s)
-			}
+		for si < len(c.starts) && c.starts[si] < end {
+			fn.Blocks = append(fn.Blocks, c.starts[si])
+			si++
 		}
 		c.Funcs = append(c.Funcs, fn)
 	}

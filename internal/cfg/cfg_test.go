@@ -12,9 +12,9 @@ import (
 func mark(g *superset.Graph) []bool {
 	starts := make([]bool, g.Len())
 	pos := 0
-	for pos < g.Len() && g.Valid[pos] {
+	for pos < g.Len() && g.Valid(pos) {
 		starts[pos] = true
-		pos += g.Insts[pos].Len
+		pos += int(g.Info[pos].Len)
 	}
 	return starts
 }

@@ -13,7 +13,7 @@ package correct
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 	"sync"
 
 	"probedis/internal/analysis"
@@ -100,12 +100,21 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
 		stack: sc.stack, succs: sc.succs, chain: sc.chain}
 	csp := opts.Trace.StartChild("commit")
+	var lastSrc string
+	var haveLast bool
 	for i, hi := range order {
 		if opts.MaxHints > 0 && i >= opts.MaxHints {
 			break
 		}
 		h := hints[hi]
-		c.curSrc = c.internSrc(h.Src)
+		// Consecutive hints usually share a source (the sort groups by
+		// priority, and each analysis emits one source name); skip the
+		// intern-map lookup when the source repeats. c.curSrc still holds
+		// the interned index from the previous iteration.
+		if !haveLast || h.Src != lastSrc {
+			c.curSrc = c.internSrc(h.Src)
+			lastSrc, haveLast = h.Src, true
+		}
 		var ok bool
 		switch h.Kind {
 		case analysis.HintCode:
@@ -164,7 +173,8 @@ func (c *corrector) retract() int {
 				continue
 			}
 			bad := false
-			for _, s := range c.g.ForcedSuccs(c.succs[:0], off) {
+			c.succs = c.g.ForcedSuccs(c.succs[:0], off)
+			for _, s := range c.succs {
 				if s < 0 {
 					bad = true
 					break
@@ -194,26 +204,44 @@ func (c *corrector) retract() int {
 	}
 }
 
+// hintKey is a hint's precomputed commit-order key: two words compared
+// descending reproduce priority, full 64-bit score, offset and kind of
+// the canonical order without touching the hint struct during the sort.
+type hintKey struct {
+	hi, lo uint64
+	idx    int32
+}
+
 // sortOrder returns hint indices in commit order (the same order as
 // analysis.SortHints) without moving the hint structs: each hint collapses
-// into one packed uint64 key, so the sort swaps 4-byte indices and
-// compares single integers.
+// into one packed 128-bit key computed once, so the comparator is two
+// integer compares instead of re-deriving fields per call.
 //
 // Key layout, compared descending: priority (8 bits) | score as an
-// order-preserving truncated float32 pattern (24 bits) | bitwise-inverted
-// offset (30 bits, sections up to 1 GiB) | inverted kind (code before
-// data on full ties). Near-equal scores may collapse to the same 24-bit
-// pattern; colliding keys fall back to the canonical total hint order
-// (analysis.Hint.Less), so the commit order never depends on the order
-// the analyses — possibly running concurrently — emitted the hints in.
+// order-preserving float64 bit pattern (64 bits, split across the words) |
+// bitwise-inverted offset (46 bits) | inverted kind (code before data).
+// The score keeps full precision, so keys collide only for hints agreeing
+// on priority, score, offset and kind; those fall back to the canonical
+// total hint order (analysis.Hint.Less — source name, then length), so
+// the commit order never depends on the order the analyses — possibly
+// running concurrently — emitted the hints in.
 func sortOrder(hints []analysis.Hint) []int32 {
-	keys := make([]uint64, len(hints))
-	order := make([]int32, len(hints))
-	const offBits = 30
-	for i, h := range hints {
-		var sbits uint64
-		if h.Score > 0 {
-			sbits = uint64(math.Float32bits(float32(h.Score))) >> 8
+	keys := make([]hintKey, len(hints))
+	const offBits = 46
+	for i := range hints {
+		h := &hints[i]
+		s := h.Score
+		if s == 0 {
+			s = 0 // collapse -0 onto +0: they compare equal as floats
+		}
+		// Order-preserving transform of the float64 bit pattern: flip the
+		// sign bit for non-negatives, all bits for negatives. Descending
+		// unsigned order then matches descending float order.
+		sbits := math.Float64bits(s)
+		if sbits&(1<<63) == 0 {
+			sbits |= 1 << 63
+		} else {
+			sbits = ^sbits
 		}
 		prio := h.Prio
 		if prio < 0 {
@@ -227,25 +255,136 @@ func sortOrder(hints []analysis.Hint) []int32 {
 		} else if off >= 1<<offBits {
 			off = 1<<offBits - 1
 		}
-		keys[i] = uint64(prio)<<55 | sbits<<31 |
-			uint64((1<<offBits-1)-off)<<1 | uint64(1-h.Kind)
-		order[i] = int32(i)
+		keys[i] = hintKey{
+			hi:  uint64(prio)<<56 | sbits>>8,
+			lo:  (sbits&0xff)<<56 | uint64((1<<offBits-1)-off)<<10 | uint64(1-h.Kind)<<9,
+			idx: int32(i),
+		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := keys[order[a]], keys[order[b]]
-		if ka != kb {
-			return ka > kb
-		}
-		ha, hb := hints[order[a]], hints[order[b]]
-		if ha.Less(hb) {
-			return true
-		}
-		if hb.Less(ha) {
-			return false
-		}
-		return order[a] < order[b]
-	})
+	sortKeys(keys, hints)
+	order := make([]int32, len(keys))
+	for i := range keys {
+		order[i] = keys[i].idx
+	}
 	return order
+}
+
+// keyLess orders hintKeys: descending (hi, lo), rare full-key ties falling
+// back to the canonical hint order. The two-word fast path inlines into
+// the sort loops; the tie branch stays out of line. The order is total and
+// strict (idx is unique), so no two keys ever compare equal and any
+// correct sort produces the same permutation.
+func keyLess(a, b *hintKey, hints []analysis.Hint) bool {
+	if a.hi != b.hi {
+		return a.hi > b.hi
+	}
+	if a.lo != b.lo {
+		return a.lo > b.lo
+	}
+	return tieLess(a, b, hints)
+}
+
+//go:noinline
+func tieLess(a, b *hintKey, hints []analysis.Hint) bool {
+	ha, hb := hints[a.idx], hints[b.idx]
+	if ha.Less(hb) {
+		return true
+	}
+	if hb.Less(ha) {
+		return false
+	}
+	return a.idx < b.idx
+}
+
+// sortKeys is an introsort (quicksort with median-of-three pivots,
+// insertion sort below 12 elements, heapsort past the depth limit)
+// specialized to hintKey so the comparator inlines — the generic
+// sort.Slice/slices.SortFunc equivalents pay an indirect call per compare,
+// which dominates the corrector's sort phase on large hint sets.
+func sortKeys(keys []hintKey, hints []analysis.Hint) {
+	if len(keys) < 2 {
+		return
+	}
+	quickKeys(keys, 2*bits.Len(uint(len(keys))), hints)
+}
+
+func quickKeys(k []hintKey, depth int, hints []analysis.Hint) {
+	for len(k) > 12 {
+		if depth == 0 {
+			heapKeys(k, hints)
+			return
+		}
+		depth--
+		m := len(k) / 2
+		last := len(k) - 1
+		if keyLess(&k[m], &k[0], hints) {
+			k[m], k[0] = k[0], k[m]
+		}
+		if keyLess(&k[last], &k[0], hints) {
+			k[last], k[0] = k[0], k[last]
+		}
+		if keyLess(&k[last], &k[m], hints) {
+			k[last], k[m] = k[m], k[last]
+		}
+		k[0], k[m] = k[m], k[0] // median of three to pivot slot
+		pivot := k[0]
+		i, j := 1, last
+		for {
+			for i <= j && keyLess(&k[i], &pivot, hints) {
+				i++
+			}
+			for i <= j && keyLess(&pivot, &k[j], hints) {
+				j--
+			}
+			if i > j {
+				break
+			}
+			k[i], k[j] = k[j], k[i]
+			i++
+			j--
+		}
+		k[0], k[j] = k[j], k[0]
+		if j < len(k)-j { // recurse into the smaller half, loop on the rest
+			quickKeys(k[:j], depth, hints)
+			k = k[j+1:]
+		} else {
+			quickKeys(k[j+1:], depth, hints)
+			k = k[:j]
+		}
+	}
+	for i := 1; i < len(k); i++ {
+		for j := i; j > 0 && keyLess(&k[j], &k[j-1], hints); j-- {
+			k[j], k[j-1] = k[j-1], k[j]
+		}
+	}
+}
+
+func heapKeys(k []hintKey, hints []analysis.Hint) {
+	n := len(k)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftKeys(k, i, n, hints)
+	}
+	for i := n - 1; i > 0; i-- {
+		k[0], k[i] = k[i], k[0]
+		siftKeys(k, 0, i, hints)
+	}
+}
+
+func siftKeys(k []hintKey, i, n int, hints []analysis.Hint) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && keyLess(&k[c], &k[c+1], hints) {
+			c++
+		}
+		if !keyLess(&k[i], &k[c], hints) {
+			return
+		}
+		k[i], k[c] = k[c], k[i]
+		i = c
+	}
 }
 
 type corrector struct {
@@ -296,7 +435,8 @@ func (c *corrector) canPlace(off int) bool {
 	}
 	// One-step lookahead: an instruction whose forced successor starts on
 	// a proven-data byte cannot be code (code never falls into data).
-	for _, s := range c.g.ForcedSuccs(c.succs[:0], off) {
+	c.succs = c.g.ForcedSuccs(c.succs[:0], off)
+	for _, s := range c.succs {
 		if s >= 0 && c.out.State[s] == Data {
 			return false
 		}
@@ -418,14 +558,11 @@ func (c *corrector) fillGap(a, b int, scores []float64) {
 func (c *corrector) nopTiles(a, b int) bool {
 	pos := a
 	for pos < b {
-		if !c.g.Valid[pos] {
+		e := &c.g.Info[pos]
+		if !e.Valid() || !e.IsNop() {
 			return false
 		}
-		inst := &c.g.Insts[pos]
-		if !inst.IsNop() {
-			return false
-		}
-		pos += inst.Len
+		pos += int(e.Len)
 	}
 	return pos == b
 }

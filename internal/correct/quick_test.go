@@ -59,7 +59,7 @@ func TestQuickCorrectionInvariants(t *testing.T) {
 			if !out.InstStart[off] {
 				continue
 			}
-			if !viable[off] || !g.Valid[off] {
+			if !viable[off] || !g.Valid(off) {
 				return false
 			}
 			from, to := g.Occupies(off)
@@ -152,5 +152,35 @@ func TestQuickSortOrderMatchesSortHints(t *testing.T) {
 	}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHeapKeysMatchesQuicksort: the heapsort fallback (reached only past
+// the introsort depth limit, which no realistic hint set triggers) must
+// produce the identical permutation as the main quicksort path — keyLess
+// is a strict total order, so both sorts have exactly one valid output.
+func TestHeapKeysMatchesQuicksort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		hints := genHints(rng, 4096)
+		a := make([]hintKey, len(hints))
+		for i := range hints {
+			a[i] = hintKey{hi: rng.Uint64() >> 60, lo: rng.Uint64() >> 62,
+				idx: int32(i)} // narrow ranges force duplicate (hi, lo) pairs
+		}
+		b := append([]hintKey(nil), a...)
+		sortKeys(a, hints)
+		heapKeys(b, hints)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: heapsort diverges at %d: %+v vs %+v",
+					trial, i, a[i], b[i])
+			}
+		}
+		for i := 1; i < len(a); i++ {
+			if keyLess(&a[i], &a[i-1], hints) {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+		}
 	}
 }

@@ -212,12 +212,12 @@ func decodeAt(code []byte, base uint64, off int, det *core.Detail) (decoded, err
 		}
 		return decoded{len: inst.Len}, nil
 	}
-	if !det.Graph.Valid[off] {
+	if !det.Graph.Valid(off) {
 		return decoded{}, fmt.Errorf("superset graph has no valid decode")
 	}
-	if err != nil || inst.Len != det.Graph.Insts[off].Len {
+	if glen := int(det.Graph.Info[off].Len); err != nil || inst.Len != glen {
 		return decoded{}, fmt.Errorf("graph decode (%d bytes) disagrees with fresh decode (err=%v)",
-			det.Graph.Insts[off].Len, err)
+			glen, err)
 	}
 	return decoded{len: inst.Len}, nil
 }

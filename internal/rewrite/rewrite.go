@@ -109,7 +109,7 @@ func Rewrite(det *core.Detail, opts Options) (*Output, error) {
 	for off := 0; off < n; {
 		switch {
 		case res.InstStart[off]:
-			inst := g.Insts[off]
+			inst := g.InstAt(off) // committed instruction: materialize once
 			it := item{kind: itInst, oldOff: off, oldLen: inst.Len, inst: inst,
 				probe: blockStart[off]}
 			if err := classifyBranch(&it); err != nil {

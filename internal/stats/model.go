@@ -24,18 +24,10 @@ const numTok = 4 * 256
 // Token quantises an instruction for the sequence models: its opcode map
 // and opcode byte. Operand bytes are deliberately excluded — it is the
 // opcode sequence whose statistics differ most sharply between code and
-// data.
+// data. The superset graph precomputes the same token into its packed
+// side-table (superset.Info.Tok), which the scoring loops read directly.
 func Token(inst *x86.Inst) int {
-	var m int
-	switch inst.Opcode >> 8 {
-	case 0x0f:
-		m = 1
-	case 0x38:
-		m = 2
-	case 0x3a:
-		m = 3
-	}
-	return m<<8 | int(inst.Opcode&0xff)
+	return int(inst.TokenID())
 }
 
 // ngram is a bigram model with additive smoothing.
@@ -90,6 +82,25 @@ func (n *ngram) logP(a, b int) float64 { return n.bi[a*numTok+b] }
 type Model struct {
 	code *ngram
 	data *ngram
+
+	// biDiff/uniDiff cache code-minus-data log-probabilities once a model
+	// is finalized: the scoring loop probes one table instead of two
+	// 8 MiB ones, halving its cache footprint. Each entry is the same
+	// code-minus-data subtraction LogOdds would otherwise evaluate per
+	// probe, so scores are bit-identical.
+	biDiff  []float64
+	uniDiff [numTok]float64
+}
+
+// buildDiff populates the difference tables from the finalized ngrams.
+func (m *Model) buildDiff() {
+	m.biDiff = make([]float64, numTok*numTok)
+	for i := range m.biDiff {
+		m.biDiff[i] = m.code.bi[i] - m.data.bi[i]
+	}
+	for a := 0; a < numTok; a++ {
+		m.uniDiff[a] = m.code.uniLogP[a] - m.data.uniLogP[a]
+	}
 }
 
 // NewModel returns an empty, untrained model.
@@ -102,10 +113,10 @@ func NewModel() *Model {
 func (m *Model) AddCode(g *superset.Graph, instStart []bool) {
 	prev := -1
 	for off := 0; off < g.Len(); off++ {
-		if !instStart[off] || !g.Valid[off] {
+		if !instStart[off] || !g.Valid(off) {
 			continue
 		}
-		tok := Token(&g.Insts[off])
+		tok := int(g.Info[off].Tok)
 		if prev >= 0 {
 			m.code.addPair(prev, tok)
 		} else {
@@ -120,13 +131,14 @@ func (m *Model) AddCode(g *superset.Graph, instStart []bool) {
 // token-at-fallthrough).
 func (m *Model) AddData(g *superset.Graph, isData []bool) {
 	for off := 0; off < g.Len(); off++ {
-		if !isData[off] || !g.Valid[off] {
+		e := &g.Info[off]
+		if !isData[off] || !e.Valid() {
 			continue
 		}
-		tok := Token(&g.Insts[off])
-		next := off + g.Insts[off].Len
-		if next < g.Len() && g.Valid[next] {
-			m.data.addPair(tok, Token(&g.Insts[next]))
+		tok := int(e.Tok)
+		next := off + int(e.Len)
+		if next < g.Len() && g.Valid(next) {
+			m.data.addPair(tok, int(g.Info[next].Tok))
 		} else {
 			m.data.addOne(tok)
 		}
@@ -149,6 +161,7 @@ func (m *Model) AddRandomData(code []byte, base uint64) {
 func (m *Model) Finalize() {
 	m.code.finalize()
 	m.data.finalize()
+	m.buildDiff()
 }
 
 // Ready reports whether Finalize has run.
@@ -159,32 +172,35 @@ func (m *Model) Ready() bool { return m.code.final }
 // code-like. steps is the number of tokens scored; an invalid start yields
 // (-inf substitute, 0).
 func (m *Model) LogOdds(g *superset.Graph, off, window int) (score float64, steps int) {
-	if !g.Valid[off] {
+	if !g.Valid(off) {
 		return -1e9, 0
 	}
 	prev := -1
 	for n := 0; n < window; n++ {
-		if off >= g.Len() || !g.Valid[off] {
+		if off >= g.Len() {
 			break
 		}
-		inst := &g.Insts[off]
-		tok := Token(inst)
+		e := &g.Info[off]
+		if !e.Valid() {
+			break
+		}
+		tok := int(e.Tok)
 		if prev < 0 {
-			score += m.code.uniLogP[tok] - m.data.uniLogP[tok]
+			score += m.uniDiff[tok]
 		} else {
-			score += m.code.logP(prev, tok) - m.data.logP(prev, tok)
+			score += m.biDiff[prev*numTok+tok]
 		}
 		steps++
 		prev = tok
-		if !inst.Flow.HasFallthrough() {
+		if !e.Flow.HasFallthrough() {
 			// Follow direct jumps so short blocks still get a full window.
-			if t := g.TargetOff(off); t >= 0 && (inst.Flow == x86.FlowJump) {
+			if t := g.TargetOff(off); t >= 0 && (e.Flow == x86.FlowJump) {
 				off = t
 				continue
 			}
 			break
 		}
-		off += inst.Len
+		off += int(e.Len)
 	}
 	return score, steps
 }

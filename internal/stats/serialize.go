@@ -95,5 +95,6 @@ func ReadModel(r io.Reader) (*Model, error) {
 		}
 		g.final = true
 	}
+	m.buildDiff()
 	return m, nil
 }

@@ -23,11 +23,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	ser := Build(code, 0x400000)
 
 	for off := range code {
-		if par.Valid[off] != ser.Valid[off] {
+		if par.Valid(off) != ser.Valid(off) {
 			t.Fatalf("validity differs at +%#x", off)
 		}
-		if par.Valid[off] && par.Insts[off] != ser.Insts[off] {
-			t.Fatalf("decode differs at +%#x", off)
+		if par.Info[off] != ser.Info[off] {
+			t.Fatalf("packed record differs at +%#x: %+v vs %+v", off, par.Info[off], ser.Info[off])
 		}
 	}
 }

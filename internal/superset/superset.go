@@ -3,10 +3,19 @@
 // resulting graph — each offset's decode result plus its forced successor
 // edges — is the substrate every downstream analysis and the error
 // corrector operate on.
+//
+// The per-offset decode result is stored packed (see Info): a full
+// x86.Inst is ~128 bytes and the superset needs one record per byte, so
+// storing instructions eagerly costs >100x the section size and turns
+// every downstream scan into a cache-miss parade. Instead Build keeps the
+// 16 bytes of properties the hot analyses actually read, and InstAt
+// lazily re-decodes the full instruction at the few offsets cold paths
+// (rewriting, listings, jump-table shape checks) inspect in detail.
 package superset
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"probedis/internal/x86"
@@ -20,55 +29,205 @@ type Range struct {
 // Contains reports whether addr falls in the range.
 func (r Range) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
 
+// Info flag bits (Info.Flags).
+const (
+	// FlagValid marks an offset that decodes to a valid instruction
+	// fitting within the section. All other fields are meaningful only
+	// when it is set.
+	FlagValid uint16 = 1 << iota
+	// FlagRare marks privileged or highly unusual opcodes (x86.Inst.Rare).
+	FlagRare
+	// FlagSeg marks a segment-override prefix (x86.PrefixSeg).
+	FlagSeg
+	// FlagNop marks NOP-family instructions (x86.Inst.IsNop).
+	FlagNop
+	// FlagHasMem marks an instruction with a memory operand.
+	FlagHasMem
+	// FlagHasImm marks an instruction with an immediate operand.
+	FlagHasImm
+	// FlagMemRIP marks a memory operand with Base == RIP.
+	FlagMemRIP
+	// FlagMemResolved marks a memory operand whose address is statically
+	// resolvable (x86.Inst.MemAddr returns ok: RIP-relative or absolute).
+	FlagMemResolved
+	// FlagTargetDelta says Delta holds the direct-branch target as a
+	// self-relative delta. Direct branches whose displacement is too wide
+	// for int32 (possible only near the ±2 GiB edge) leave it clear and
+	// fall back to lazy re-decode.
+	FlagTargetDelta
+	// FlagMemDelta says Delta holds the resolved memory-operand address
+	// as a self-relative delta (set only with FlagMemResolved; absolute
+	// operands far from the section fall back to lazy re-decode).
+	FlagMemDelta
+)
+
+// Info is the packed per-offset decode record: 16 bytes covering
+// everything the hot per-offset scans (viability, statistical scoring,
+// behaviour penalties, hint pattern prefilters, the corrector) read.
+// Anything else — operand shapes, immediates, register effects — is
+// materialized on demand with Graph.InstAt.
+type Info struct {
+	// Delta is a self-relative encoding of the direct-branch target
+	// (FlagTargetDelta) or the resolved memory-operand address
+	// (FlagMemDelta): absolute address = section base + offset + Delta.
+	Delta int32
+	// StackDelta is the statically-known RSP change in bytes.
+	StackDelta int32
+	// Op is the mnemonic.
+	Op x86.Op
+	// Tok is the precomputed statistical token (x86.Inst.TokenID).
+	Tok uint16
+	// Flags holds the Flag* bits, including validity.
+	Flags uint16
+	// Len is the encoded instruction length in bytes (1..15).
+	Len uint8
+	// Flow is the control-flow class.
+	Flow x86.Flow
+}
+
+// Valid reports whether the offset decodes to a valid instruction.
+func (e *Info) Valid() bool { return e.Flags&FlagValid != 0 }
+
+// Rare reports a privileged/unusual opcode (x86.Inst.Rare).
+func (e *Info) Rare() bool { return e.Flags&FlagRare != 0 }
+
+// SegPrefix reports a segment-override prefix.
+func (e *Info) SegPrefix() bool { return e.Flags&FlagSeg != 0 }
+
+// IsNop reports a NOP-family instruction.
+func (e *Info) IsNop() bool { return e.Flags&FlagNop != 0 }
+
+// HasMem reports a memory operand.
+func (e *Info) HasMem() bool { return e.Flags&FlagHasMem != 0 }
+
+// HasImm reports an immediate operand.
+func (e *Info) HasImm() bool { return e.Flags&FlagHasImm != 0 }
+
+// MemBaseRIP reports a RIP-based memory operand.
+func (e *Info) MemBaseRIP() bool { return e.Flags&FlagMemRIP != 0 }
+
+// pack collapses a decoded instruction into its 16-byte side-table record.
+func pack(inst *x86.Inst) Info {
+	e := Info{
+		StackDelta: inst.StackDelta,
+		Op:         inst.Op,
+		Tok:        inst.TokenID(),
+		Flags:      FlagValid,
+		Len:        uint8(inst.Len),
+		Flow:       inst.Flow,
+	}
+	if inst.Rare {
+		e.Flags |= FlagRare
+	}
+	if inst.Prefix&x86.PrefixSeg != 0 {
+		e.Flags |= FlagSeg
+	}
+	if inst.IsNop() {
+		e.Flags |= FlagNop
+	}
+	if inst.HasImm {
+		e.Flags |= FlagHasImm
+	}
+	if inst.HasMem {
+		e.Flags |= FlagHasMem
+		if inst.Mem.Base == x86.RIP {
+			e.Flags |= FlagMemRIP
+		}
+		if addr, ok := inst.MemAddr(); ok {
+			e.Flags |= FlagMemResolved
+			if d := int64(addr) - int64(inst.Addr); d == int64(int32(d)) {
+				e.Flags |= FlagMemDelta
+				e.Delta = int32(d)
+			}
+		}
+	}
+	switch inst.Flow {
+	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
+		// Direct branches carry no memory operand, so the Delta slot is
+		// free; clear the mem role anyway so the slot is never ambiguous.
+		e.Flags &^= FlagMemDelta
+		e.Delta = 0
+		if d := int64(inst.Target) - int64(inst.Addr); d == int64(int32(d)) {
+			e.Flags |= FlagTargetDelta
+			e.Delta = int32(d)
+		}
+	}
+	return e
+}
+
 // Graph is the superset disassembly of one text section.
 type Graph struct {
 	Base uint64
 	Code []byte
 
-	// Insts[i] is the decode result at offset i; check Valid[i] first.
-	Insts []x86.Inst
-	// Valid[i] reports whether offset i decodes to a valid instruction
-	// that fits within the section.
-	Valid []bool
+	// Info[i] is the packed decode record at offset i; check
+	// Info[i].Valid() (or Graph.Valid(i)) before using the other fields.
+	Info []Info
 
 	// extern lists other executable ranges of the binary: direct branches
 	// landing there are legitimate (cross-section tail calls, PLT stubs)
-	// rather than evidence of a misdecode.
+	// rather than evidence of a misdecode. Kept sorted by Start and
+	// merged disjoint by SetExtern so ExternTarget can binary-search —
+	// it sits inside the corrector's canPlace/ForcedSuccs hot path.
 	extern []Range
 }
 
 // SetExtern registers additional executable ranges (see Graph.extern).
-func (g *Graph) SetExtern(ranges []Range) { g.extern = ranges }
-
-// ExternTarget reports whether addr lies in a registered external
-// executable range.
-func (g *Graph) ExternTarget(addr uint64) bool {
-	for _, r := range g.extern {
-		if r.Contains(addr) {
-			return true
+// The input is copied, sorted and merged into disjoint ascending ranges.
+func (g *Graph) SetExtern(ranges []Range) {
+	norm := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Start < r.End {
+			norm = append(norm, r)
 		}
 	}
-	return false
+	sort.Slice(norm, func(i, j int) bool { return norm[i].Start < norm[j].Start })
+	merged := norm[:0]
+	for _, r := range norm {
+		if n := len(merged); n > 0 && r.Start <= merged[n-1].End {
+			if r.End > merged[n-1].End {
+				merged[n-1].End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	g.extern = merged
 }
 
-// Build decodes an instruction at every offset of code. Decoding at each
+// ExternTarget reports whether addr lies in a registered external
+// executable range. The ranges are sorted and disjoint (SetExtern), so
+// this is a binary search for the last range starting at or before addr.
+func (g *Graph) ExternTarget(addr uint64) bool {
+	lo, hi := 0, len(g.extern)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.extern[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && addr < g.extern[lo-1].End
+}
+
+// Build decodes an instruction at every offset of code, packing each
+// result into the 16-byte side-table in the same pass. Decoding at each
 // offset is independent, so large sections are decoded in parallel; the
 // result is deterministic.
 func Build(code []byte, base uint64) *Graph {
 	g := &Graph{
-		Base:  base,
-		Code:  code,
-		Insts: make([]x86.Inst, len(code)),
-		Valid: make([]bool, len(code)),
+		Base: base,
+		Code: code,
+		Info: make([]Info, len(code)),
 	}
 	decodeRange := func(from, to int) {
 		for off := from; off < to; off++ {
-			inst, err := x86.Decode(code[off:], base+uint64(off))
+			inst, err := x86.DecodeLean(code[off:], base+uint64(off))
 			if err != nil {
 				continue
 			}
-			g.Insts[off] = inst
-			g.Valid[off] = true
+			g.Info[off] = pack(&inst)
 		}
 	}
 	const parallelThreshold = 1 << 14
@@ -97,6 +256,28 @@ func Build(code []byte, base uint64) *Graph {
 // Len returns the section size.
 func (g *Graph) Len() int { return len(g.Code) }
 
+// Valid reports whether offset off decodes to a valid instruction that
+// fits within the section.
+func (g *Graph) Valid(off int) bool { return g.Info[off].Flags&FlagValid != 0 }
+
+// InstAt materializes the full decoded instruction at off by re-decoding
+// the bytes. Offsets without a valid decode return a zero instruction
+// with Flow == FlowInvalid. This is the cold path: downstream consumers
+// call it only at the offsets they inspect in detail (committed
+// instructions, dispatch-idiom candidates, rewrite/listing emission),
+// a tiny fraction of the superset.
+func (g *Graph) InstAt(off int) x86.Inst {
+	if off < 0 || off >= len(g.Code) || !g.Info[off].Valid() {
+		return x86.Inst{Flow: x86.FlowInvalid}
+	}
+	inst, err := x86.Decode(g.Code[off:], g.Base+uint64(off))
+	if err != nil {
+		// Unreachable: Build decoded these very bytes successfully.
+		return x86.Inst{Flow: x86.FlowInvalid}
+	}
+	return inst
+}
+
 // Contains reports whether addr falls inside the section.
 func (g *Graph) Contains(addr uint64) bool {
 	return addr >= g.Base && addr < g.Base+uint64(len(g.Code))
@@ -110,16 +291,43 @@ func (g *Graph) OffsetOf(addr uint64) int {
 	return int(addr - g.Base)
 }
 
+// target returns the absolute target address of the direct branch at off.
+// Callers must have checked that e is valid with a direct-branch flow.
+func (g *Graph) target(off int, e *Info) uint64 {
+	if e.Flags&FlagTargetDelta != 0 {
+		return uint64(int64(g.Base) + int64(off) + int64(e.Delta))
+	}
+	// Displacement too wide for the packed delta: materialize.
+	return g.InstAt(off).Target
+}
+
 // TargetOff returns the section offset of a direct branch target, or -1.
 func (g *Graph) TargetOff(off int) int {
-	if !g.Valid[off] {
+	e := &g.Info[off]
+	if !e.Valid() {
 		return -1
 	}
-	switch g.Insts[off].Flow {
+	switch e.Flow {
 	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-		return g.OffsetOf(g.Insts[off].Target)
+		return g.OffsetOf(g.target(off, e))
 	}
 	return -1
+}
+
+// MemAddrAt resolves the address of a RIP-relative or absolute memory
+// operand at off (mirrors x86.Inst.MemAddr on the packed table). ok is
+// false for invalid offsets and operands that depend on a data register.
+func (g *Graph) MemAddrAt(off int) (addr uint64, ok bool) {
+	e := &g.Info[off]
+	const need = FlagValid | FlagMemResolved
+	if e.Flags&need != need {
+		return 0, false
+	}
+	if e.Flags&FlagMemDelta != 0 {
+		return uint64(int64(g.Base) + int64(off) + int64(e.Delta)), true
+	}
+	inst := g.InstAt(off)
+	return inst.MemAddr()
 }
 
 // ForcedSuccs appends to dst the offsets that MUST be instructions if off
@@ -133,23 +341,24 @@ func (g *Graph) TargetOff(off int) int {
 // executable range begins right there (two adjacent text sections),
 // execution legitimately continues into it, so no -1 is emitted.
 func (g *Graph) ForcedSuccs(dst []int, off int) []int {
-	if !g.Valid[off] {
+	e := &g.Info[off]
+	if !e.Valid() {
 		return dst
 	}
-	inst := &g.Insts[off]
-	if inst.Flow.HasFallthrough() {
-		next := off + inst.Len
+	if e.Flow.HasFallthrough() {
+		next := off + int(e.Len)
 		if next < len(g.Code) {
 			dst = append(dst, next)
 		} else if !g.ExternTarget(g.Base + uint64(next)) {
 			dst = append(dst, -1)
 		}
 	}
-	switch inst.Flow {
+	switch e.Flow {
 	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-		if t := g.OffsetOf(inst.Target); t >= 0 {
+		tgt := g.target(off, e)
+		if t := g.OffsetOf(tgt); t >= 0 {
 			dst = append(dst, t)
-		} else if !g.ExternTarget(inst.Target) {
+		} else if !g.ExternTarget(tgt) {
 			dst = append(dst, -1)
 		}
 	}
@@ -158,18 +367,19 @@ func (g *Graph) ForcedSuccs(dst []int, off int) []int {
 
 // Occupies reports the byte range [off, off+len) of the decode at off.
 func (g *Graph) Occupies(off int) (from, to int) {
-	if !g.Valid[off] {
+	e := &g.Info[off]
+	if !e.Valid() {
 		return off, off
 	}
-	return off, off + g.Insts[off].Len
+	return off, off + int(e.Len)
 }
 
 // ValidCount returns the number of offsets with a valid decode (useful as
 // a superset-density diagnostic).
 func (g *Graph) ValidCount() int {
 	n := 0
-	for _, v := range g.Valid {
-		if v {
+	for i := range g.Info {
+		if g.Info[i].Flags&FlagValid != 0 {
 			n++
 		}
 	}

@@ -15,17 +15,20 @@ func TestBuildSimple(t *testing.T) {
 		t.Fatalf("len = %d", g.Len())
 	}
 	for off, wantOp := range map[int]x86.Op{0: x86.PUSH, 1: x86.MOV, 4: x86.RET} {
-		if !g.Valid[off] || g.Insts[off].Op != wantOp {
-			t.Errorf("offset %d: valid=%v op=%v, want %v", off, g.Valid[off], g.Insts[off].Op, wantOp)
+		if !g.Valid(off) || g.Info[off].Op != wantOp {
+			t.Errorf("offset %d: valid=%v op=%v, want %v", off, g.Valid(off), g.Info[off].Op, wantOp)
 		}
 	}
 	// Offset 2 decodes 0x89 0xe5 = mov ebp, esp (overlapping decode).
-	if !g.Valid[2] || g.Insts[2].Op != x86.MOV {
+	if !g.Valid(2) || g.Info[2].Op != x86.MOV {
 		t.Errorf("offset 2 should decode as overlapping mov")
 	}
 	// Truncated tail: offset 3 is 0xe5 0xc3 = in eax, 0xc3 (valid, rare).
-	if !g.Valid[3] || g.Insts[3].Op != x86.IN {
-		t.Errorf("offset 3 = %v valid=%v", g.Insts[3].Op, g.Valid[3])
+	if !g.Valid(3) || g.Info[3].Op != x86.IN {
+		t.Errorf("offset 3 = %v valid=%v", g.Info[3].Op, g.Valid(3))
+	}
+	if !g.Info[3].Rare() {
+		t.Errorf("in eax, imm8 should be flagged rare")
 	}
 }
 
@@ -92,7 +95,7 @@ func TestSupersetCoversTruth(t *testing.T) {
 		if !isStart {
 			continue
 		}
-		if !g.Valid[off] {
+		if !g.Valid(off) {
 			t.Fatalf("truth instruction at +%#x invalid in superset", off)
 		}
 	}
@@ -106,8 +109,8 @@ func TestZerosDecode(t *testing.T) {
 	// 00 00 = add [rax], al — zeros are valid x86, which is exactly why
 	// zero padding is hard for naive disassemblers.
 	g := Build(make([]byte, 8), 0)
-	if !g.Valid[0] || g.Insts[0].Op != x86.ADD || g.Insts[0].Len != 2 {
-		t.Errorf("zeros decoded as %v len=%d", g.Insts[0].Op, g.Insts[0].Len)
+	if !g.Valid(0) || g.Info[0].Op != x86.ADD || g.Info[0].Len != 2 {
+		t.Errorf("zeros decoded as %v len=%d", g.Info[0].Op, g.Info[0].Len)
 	}
 }
 

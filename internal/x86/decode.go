@@ -29,6 +29,7 @@ type decodeState struct {
 	seg     bool
 	vex     bool
 	vexMap  byte // 1=0F 2=0F38 3=0F3A
+	lean    bool // skip operand-rendering / register-effect fields
 	prefixN int
 }
 
@@ -91,9 +92,26 @@ func (d *decodeState) u64() (uint64, error) {
 // is addr. On success the returned Inst has Len set to the encoded length.
 // It fails with ErrTruncated if code is too short and ErrInvalid for
 // undefined encodings.
-func Decode(code []byte, addr uint64) (Inst, error) {
-	d := decodeState{code: code, addr: addr}
-	inst := Inst{Addr: addr, Cond: CondNone, OpSize: 32}
+func Decode(code []byte, addr uint64) (inst Inst, err error) {
+	err = decodeInto(&inst, code, addr, false)
+	return
+}
+
+// DecodeLean decodes like Decode but leaves the operand-rendering and
+// register-effect fields (DstReg/SrcReg, VecReg/VecRM, MemIsDst,
+// RegsRead/RegsWritten) unpopulated. Everything the superset side-table
+// packs — length, flow, opcode, prefixes, immediates, memory operand,
+// branch target, stack delta — is identical to a full Decode. Bulk
+// per-offset decoding (superset construction) uses this path; consumers
+// that inspect operands materialize a full Decode instead.
+func DecodeLean(code []byte, addr uint64) (inst Inst, err error) {
+	err = decodeInto(&inst, code, addr, true)
+	return
+}
+
+func decodeInto(inst *Inst, code []byte, addr uint64, lean bool) error {
+	d := decodeState{code: code, addr: addr, lean: lean}
+	*inst = Inst{Addr: addr, Cond: CondNone, OpSize: 32}
 
 	// Prefix loop. A REX byte must immediately precede the opcode; a legacy
 	// prefix after REX cancels it.
@@ -101,9 +119,9 @@ func Decode(code []byte, addr uint64) (Inst, error) {
 		b, ok := d.peek()
 		if !ok {
 			if d.pos >= MaxInstLen {
-				return inst, ErrInvalid
+				return ErrInvalid
 			}
-			return inst, ErrTruncated
+			return ErrTruncated
 		}
 		switch {
 		case b == 0x66:
@@ -126,7 +144,7 @@ func Decode(code []byte, addr uint64) (Inst, error) {
 		d.pos++
 		d.prefixN++
 		if d.prefixN > 14 {
-			return inst, ErrInvalid
+			return ErrInvalid
 		}
 	}
 prefixesDone:
@@ -158,7 +176,7 @@ prefixesDone:
 
 	op, err := d.next()
 	if err != nil {
-		return inst, err
+		return err
 	}
 
 	var e entry
@@ -166,12 +184,12 @@ prefixesDone:
 	case op == 0x0f:
 		op2, err := d.next()
 		if err != nil {
-			return inst, err
+			return err
 		}
 		if op2 == 0x38 || op2 == 0x3a {
 			op3, err := d.next()
 			if err != nil {
-				return inst, err
+				return err
 			}
 			if op2 == 0x38 {
 				e = entry{op: ESC38, fl: fModRM, args: aMRead}
@@ -194,13 +212,13 @@ prefixesDone:
 	}
 
 	if e.fl&fInvalid != 0 || e.fl&(fPrefix|fEscape) != 0 {
-		return inst, ErrInvalid
+		return ErrInvalid
 	}
 	return finish(&d, inst, e, op)
 }
 
 // finish completes decoding after the opcode map entry is known.
-func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
+func finish(d *decodeState, inst *Inst, e entry, op byte) error {
 	inst.Op = e.op
 	inst.Flow = e.flow
 	inst.Rare = e.fl&fRare != 0
@@ -233,7 +251,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 		var err error
 		modrm, err = d.next()
 		if err != nil {
-			return inst, err
+			return err
 		}
 		mod := modrm >> 6
 		rm := modrm & 7
@@ -245,7 +263,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 
 		if mod == 3 {
 			if e.fl&fMemOnly != 0 {
-				return inst, ErrInvalid
+				return ErrInvalid
 			}
 			r := rm
 			if d.hasRex {
@@ -258,7 +276,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 			if rm == 4 { // SIB
 				sib, err := d.next()
 				if err != nil {
-					return inst, err
+					return err
 				}
 				scale := sib >> 6
 				idx := (sib >> 3) & 7
@@ -275,7 +293,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 					// No base, disp32 follows.
 					v, err := d.u32()
 					if err != nil {
-						return inst, err
+						return err
 					}
 					mem.Disp = int64(int32(v))
 				} else {
@@ -285,7 +303,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 				// RIP-relative.
 				v, err := d.u32()
 				if err != nil {
-					return inst, err
+					return err
 				}
 				mem.Base = RIP
 				mem.Disp = int64(int32(v))
@@ -300,13 +318,13 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 			case 1:
 				v, err := d.next()
 				if err != nil {
-					return inst, err
+					return err
 				}
 				mem.Disp += int64(int8(v))
 			case 2:
 				v, err := d.u32()
 				if err != nil {
-					return inst, err
+					return err
 				}
 				mem.Disp += int64(int32(v))
 			}
@@ -317,9 +335,9 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 	// Group opcodes: the real operation depends on ModRM.reg.
 	if e.fl&fGroup != 0 {
 		var err error
-		e, err = resolveGroup(d, &inst, e, op, modrm)
+		e, err = resolveGroup(d, inst, e, op, modrm)
 		if err != nil {
-			return inst, err
+			return err
 		}
 		inst.Op = e.op
 		if e.flow != FlowSeq {
@@ -329,7 +347,7 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 			inst.Rare = true
 		}
 		if e.fl&fMemOnly != 0 && !inst.HasMem {
-			return inst, ErrInvalid
+			return ErrInvalid
 		}
 		// Group members can force 64-bit defaults (push/call/jmp in grp5).
 		if e.fl&fDef64 != 0 && inst.OpSize == 32 {
@@ -338,12 +356,12 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 	}
 
 	// Immediate.
-	if err := readImm(d, &inst, e.imm); err != nil {
-		return inst, err
+	if err := readImm(d, inst, e.imm); err != nil {
+		return err
 	}
 
 	// Opcode-level special cases.
-	applySpecial(d, &inst, op)
+	applySpecial(d, inst, op)
 
 	// Branch target for direct relative branches.
 	inst.Len = d.pos
@@ -356,10 +374,12 @@ func finish(d *decodeState, inst Inst, e entry, op byte) (Inst, error) {
 	if d.hasRex {
 		opRegN |= (d.rex & 1) << 3
 	}
-	regEffects(&inst, e, gpr(opRegN), regOp, rmReg)
-	operandInfo(&inst, e, gpr(opRegN), regOp, rmReg)
-	stackEffect(&inst, rmReg)
-	return inst, nil
+	if !d.lean {
+		regEffects(inst, e, gpr(opRegN), regOp, rmReg)
+		operandInfo(inst, e, gpr(opRegN), regOp, rmReg)
+	}
+	stackEffect(inst, rmReg)
+	return nil
 }
 
 // vecNum converts a ModRM register slot to a vector register number.
@@ -606,32 +626,32 @@ func resolveGroup(d *decodeState, inst *Inst, e entry, op byte, modrm byte) (ent
 
 // decodeVEX handles C4/C5-prefixed AVX instructions: exact lengths, grouped
 // semantics (Op = AVX).
-func decodeVEX(d *decodeState, inst Inst, op byte) (Inst, error) {
+func decodeVEX(d *decodeState, inst *Inst, op byte) error {
 	// A legacy prefix before VEX is not allowed (66/F2/F3 become part of
 	// the VEX pp field); be lenient about segment overrides only.
 	if d.opsz || d.rep || d.repne || d.lock || d.hasRex {
-		return inst, ErrInvalid
+		return ErrInvalid
 	}
 	inst.Prefix |= PrefixVex
 	var mapSel byte
 	if op == 0xc4 {
 		v1, err := d.next()
 		if err != nil {
-			return inst, err
+			return err
 		}
 		if _, err := d.next(); err != nil { // v2: W/vvvv/L/pp
-			return inst, err
+			return err
 		}
 		mapSel = v1 & 0x1f
 	} else {
 		if _, err := d.next(); err != nil { // single VEX byte
-			return inst, err
+			return err
 		}
 		mapSel = 1
 	}
 	opc, err := d.next()
 	if err != nil {
-		return inst, err
+		return err
 	}
 
 	e := entry{op: AVX, fl: fModRM, args: aMRead}
@@ -651,7 +671,7 @@ func decodeVEX(d *decodeState, inst Inst, op byte) (Inst, error) {
 		inst.Opcode = 0x3a00 | uint16(opc)
 		e.imm = imm8
 	default:
-		return inst, ErrInvalid
+		return ErrInvalid
 	}
 	inst.Op = AVX
 	return finish(d, inst, e, opc)
@@ -662,29 +682,29 @@ func decodeVEX(d *decodeState, inst Inst, op byte) (Inst, error) {
 // compressed disp8 does not change encoded length, so the shared ModRM
 // path applies. Reserved-bit checks keep the superset selective: random
 // data rarely forms a well-formed EVEX prefix.
-func decodeEVEX(d *decodeState, inst Inst) (Inst, error) {
+func decodeEVEX(d *decodeState, inst *Inst) error {
 	if d.opsz || d.rep || d.repne || d.lock || d.hasRex {
-		return inst, ErrInvalid
+		return ErrInvalid
 	}
 	inst.Prefix |= PrefixVex
 	p0, err := d.next()
 	if err != nil {
-		return inst, err
+		return err
 	}
 	p1, err := d.next()
 	if err != nil {
-		return inst, err
+		return err
 	}
 	if _, err := d.next(); err != nil { // p2
-		return inst, err
+		return err
 	}
 	if p0&0x08 != 0 || p1&0x04 == 0 {
-		return inst, ErrInvalid // reserved bits
+		return ErrInvalid // reserved bits
 	}
 	mapSel := p0 & 0x07
 	opc, err := d.next()
 	if err != nil {
-		return inst, err
+		return err
 	}
 	e := entry{op: AVX, fl: fModRM, args: aMRead}
 	switch mapSel {
@@ -699,7 +719,7 @@ func decodeEVEX(d *decodeState, inst Inst) (Inst, error) {
 		inst.Opcode = 0x3a00 | uint16(opc)
 		e.imm = imm8
 	default:
-		return inst, ErrInvalid
+		return ErrInvalid
 	}
 	inst.Op = AVX
 	return finish(d, inst, e, opc)

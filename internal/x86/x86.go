@@ -258,3 +258,22 @@ func (i *Inst) MemAddr() (addr uint64, ok bool) {
 // IsNop reports whether the instruction is a no-op of any encoding
 // (0x90, 66 90, 0F 1F multi-byte NOPs, and prefetch hints).
 func (i *Inst) IsNop() bool { return i.Op == NOP || i.Op == FNOP || i.Op == PREFETCH }
+
+// TokenID quantises the instruction for the statistical sequence models:
+// opcode map (one-byte, 0F, 0F38, 0F3A) in the high bits and the opcode
+// byte in the low 8, giving a stable token in [0, 4*256). Operand bytes
+// are deliberately excluded — it is the opcode sequence whose statistics
+// separate code from data. The superset graph precomputes this into its
+// packed side-table so the scoring hot loop never touches the full Inst.
+func (i *Inst) TokenID() uint16 {
+	var m uint16
+	switch i.Opcode >> 8 {
+	case 0x0f:
+		m = 1
+	case 0x38:
+		m = 2
+	case 0x3a:
+		m = 3
+	}
+	return m<<8 | i.Opcode&0xff
+}
