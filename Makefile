@@ -1,9 +1,9 @@
 # Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
 # end-to-end, so vet and the race detector are part of the baseline gate;
 # cover enforces the per-package statement-coverage floor.
-.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke
+.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke servtest
 
-verify: build vet test race cover
+verify: build vet test race cover servtest
 
 build:
 	go build ./...
@@ -49,3 +49,11 @@ cover:
 # Short coverage-guided fuzz pass over the whole pipeline (CI smoke).
 fuzz-smoke:
 	go test -fuzz=FuzzPipeline -fuzztime=30s .
+
+# Chaos/load harness against the real serving stack (internal/serve)
+# over a real loopback listener: mixed hostile workloads under -race,
+# run twice to catch order-dependent state. PROBEDIS_LEAK_REPORT
+# receives a goroutine stack dump if a leak check fails.
+servtest:
+	PROBEDIS_LEAK_REPORT=/tmp/servtest-leak.txt \
+		go test -race -count=2 -timeout=5m ./internal/servtest

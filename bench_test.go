@@ -10,6 +10,7 @@
 package probedis
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -485,6 +486,25 @@ func BenchmarkLargeSectionSuperset(b *testing.B) {
 	b.ReportMetric(resident, "resident_x")
 	b.ReportMetric(float64(tr.AllocBytes)/float64(b.N), "obs-alloc-B/op")
 	writeAllocReport(b, tr)
+}
+
+// BenchmarkLargeSectionSupersetCancellable is BenchmarkLargeSectionSuperset
+// through the context-aware entry point with a live (never-fired)
+// context: the price of the cancellation checkpoints on the superset
+// hot loop. The acceptance bar for the cancellable pipeline is this
+// staying within 1% of BenchmarkLargeSectionSuperset's ns/op.
+func BenchmarkLargeSectionSupersetCancellable(b *testing.B) {
+	code, base := largeSection(b)
+	ctx := context.Background()
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := superset.BuildContext(ctx, code, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.KeepAlive(g)
+	}
 }
 
 // BenchmarkLargeSectionPipeline runs the full core pipeline over the

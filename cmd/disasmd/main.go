@@ -1,33 +1,49 @@
 // Command disasmd serves the metadata-free disassembly pipeline over
-// HTTP — the production-scale front end of the repo's north star.
+// HTTP — the production-scale front end of the repo's north star. The
+// serving logic lives in internal/serve; this wrapper only parses
+// flags, loads the model and manages process lifecycle.
 //
-//	disasmd [-addr :8421] [-workers 0] [-batch 0] [-max-bytes 67108864] [-model m.pdmd]
+//	disasmd [-addr :8421] [-workers 0] [-batch 0] [-queue 0]
+//	        [-max-bytes 67108864] [-deadline 0] [-cache-entries 128]
+//	        [-cache-bytes 67108864] [-model m.pdmd]
 //
 // Endpoints:
 //
 //	POST /disassemble        body = one ELF64 image; JSON per-section
 //	                         summary. Append ?trace=1 for the per-stage
-//	                         span tree. Malformed ELF -> 400.
+//	                         span tree (bypasses the result cache).
+//	                         Malformed ELF -> 400, oversized -> 413,
+//	                         saturated -> 429 (+Retry-After), deadline
+//	                         exceeded -> 504.
 //	GET  /metrics            Prometheus text format: request counters,
-//	                         cumulative per-stage wall time/bytes/calls,
-//	                         heap and goroutine gauges.
+//	                         cache hit/miss/eviction counters, queue and
+//	                         inflight gauges, cumulative per-stage wall
+//	                         time/bytes/calls, heap and goroutine gauges.
 //	GET  /debug/pprof/*      stdlib CPU/heap/goroutine profiling.
 //	GET  /healthz            liveness probe.
 //
 // Concurrent disassemblies are bounded by -batch (default: the pipeline
-// worker-pool size); each one additionally parallelizes over sections
-// and analyses via -workers (see core.WithWorkers).
+// worker-pool size); up to -queue more wait for a slot and anything
+// beyond that is shed with 429. Each admitted request runs under its
+// client's context plus the optional -deadline, which the pipeline
+// observes cooperatively (see core.DisassembleELFDetailContext).
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"probedis/internal/core"
+	"probedis/internal/serve"
 	"probedis/internal/stats"
 )
 
@@ -35,11 +51,16 @@ func main() {
 	addr := flag.String("addr", ":8421", "listen address")
 	workers := flag.Int("workers", 0, "per-request pipeline worker goroutines (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "max concurrent disassembly requests (0 = worker-pool size)")
+	queue := flag.Int("queue", 0, "max requests queued for a slot before shedding 429 (0 = 2*batch)")
 	maxBytes := flag.Int64("max-bytes", 64<<20, "max accepted ELF image size in bytes")
+	deadline := flag.Duration("deadline", 0, "per-request deadline incl. queue wait, 504 past it (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 128, "result cache capacity in entries (0 = disable cache)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache capacity in body bytes")
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-max-bytes n] [-model m.pdmd]")
+		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-queue n]"+
+			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd]")
 		os.Exit(2)
 	}
 
@@ -60,13 +81,37 @@ func main() {
 	}
 
 	d := core.New(model, core.WithWorkers(*workers))
-	s := newServer(d, *batch, *maxBytes)
+	s := serve.New(d, serve.Config{
+		Slots:        *batch,
+		Queue:        *queue,
+		MaxBytes:     *maxBytes,
+		Deadline:     *deadline,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.routes(),
+		Handler:           s.Routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("disasmd: serving on %s (workers=%d batch=%d max-bytes=%d)",
-		*addr, d.Workers(), cap(s.sem), *maxBytes)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("disasmd: serving on %s (workers=%d batch=%d queue=%d max-bytes=%d deadline=%v cache=%d/%dB)",
+		*addr, d.Workers(), *batch, *queue, *maxBytes, *deadline, *cacheEntries, *cacheBytes)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("disasmd: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("disasmd: shutdown: %v", err)
+	}
 }

@@ -4,6 +4,9 @@
 package cfg
 
 import (
+	"context"
+
+	"probedis/internal/ctxutil"
 	"probedis/internal/obs"
 	"probedis/internal/superset"
 	"probedis/internal/x86"
@@ -45,8 +48,21 @@ func Build(g *superset.Graph, instStart []bool, seeds []int) *CFG {
 // formation and function-extent assignment each get a child span of sp.
 // A nil sp runs the exact untraced path.
 func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) *CFG {
+	c, _ := BuildTraceContext(nil, g, instStart, seeds, sp)
+	return c
+}
+
+// BuildTraceContext is BuildTrace with cooperative cancellation,
+// checked at each stage boundary (leaders -> blocks -> funcs): once ctx
+// is done the build aborts and returns (nil, ctx.Err()). Each stage is a
+// single linear scan, so the reaction latency is one stage's worth of
+// work. A nil ctx (what Build/BuildTrace pass) never polls.
+func BuildTraceContext(ctx context.Context, g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) (*CFG, error) {
 	n := g.Len()
 
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 	lsp := sp.StartChild("leaders")
 	// Collect call targets from committed code as additional seeds.
 	// leaders and funcSet are dense bitmaps rather than maps: every loop
@@ -103,6 +119,9 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 	lsp.Count("leaders", int64(nleaders))
 	lsp.End()
 
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 	bsp := sp.StartChild("blocks")
 	// Count blocks first so the arena is exactly sized: pointers into it
 	// stay valid because it never reallocates, and the whole CFG costs one
@@ -150,6 +169,9 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 	bsp.Count("blocks", int64(len(c.starts)))
 	bsp.End()
 
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 	fsp := sp.StartChild("funcs")
 	// Function extents: each function owns the blocks from its entry up to
 	// the next function entry. The ascending funcSet scan yields entries
@@ -180,7 +202,7 @@ func BuildTrace(g *superset.Graph, instStart []bool, seeds []int, sp *obs.Span) 
 	}
 	fsp.Count("funcs", int64(len(c.Funcs)))
 	fsp.End()
-	return c
+	return c, nil
 }
 
 // FuncStarts returns the sorted function entry offsets.

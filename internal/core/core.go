@@ -11,12 +11,14 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"probedis/internal/analysis"
 	"probedis/internal/cfg"
 	"probedis/internal/correct"
+	"probedis/internal/ctxutil"
 	"probedis/internal/dis"
 	"probedis/internal/obs"
 	"probedis/internal/stats"
@@ -162,9 +164,23 @@ func (d *Disassembler) DisassembleDetail(code []byte, base uint64, entry int) *D
 // stage the section's wall time goes to is a direct child of sp, so a
 // rendered trace accounts for the whole run.
 func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
+	det, _ := d.runContext(nil, g, entry, sp)
+	return det
+}
+
+// runContext is run with cooperative cancellation: ctx is polled at
+// every stage boundary and, inside the correction hot loops, every few
+// thousand offsets (see correct.RunContext). Once ctx is done the run
+// aborts and returns (nil, ctx.Err()) — partial stage output is
+// discarded, never surfaced. A nil ctx (what run passes) keeps the exact
+// uncancellable behaviour, including byte-identical output.
+func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry int, sp *obs.Span) (*Detail, error) {
 	vsp := sp.StartChild("viability")
 	viable := analysis.Viability(g)
 	vsp.End()
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 
 	// Scores are consumed by StatHints and the corrector's gap fill and
 	// never escape this call, so the slice cycles through a pool instead
@@ -177,11 +193,19 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 		d.model.ScoreAllInto(scores, g, d.window)
 		ssp.Count("scored", int64(len(scores)))
 		ssp.End()
+		if ctxutil.Cancelled(ctx) {
+			return nil, ctxutil.Err(ctx)
+		}
 	}
 	hsp := sp.StartChild("hints")
-	hints, tables := d.collectHints(g, viable, entry, scores, hsp)
+	hints, tables := d.collectHints(ctx, g, viable, entry, scores, hsp)
 	hsp.Count("hints", int64(len(hints)))
 	hsp.End()
+	// A cancellation observed by collectHints leaves the hint stream
+	// incomplete; abort before the partial stream reaches the corrector.
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 	if d.flatPrio {
 		for i := range hints {
 			hints[i].Prio = analysis.PrioStat
@@ -190,8 +214,11 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 	}
 
 	csp := sp.StartChild("correct")
-	out := correct.Run(g, viable, hints, correct.Options{Scores: scores, Trace: csp})
+	out, err := correct.RunContext(ctx, g, viable, hints, correct.Options{Scores: scores, Trace: csp})
 	csp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	esp := sp.StartChild("emit")
 	res := dis.NewResult(g.Base, g.Len())
@@ -213,7 +240,11 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 	}
 	esp.End()
 	fsp := sp.StartChild("cfg")
-	c := cfg.BuildTrace(g, out.InstStart, seeds, fsp)
+	c, err := cfg.BuildTraceContext(ctx, g, out.InstStart, seeds, fsp)
+	if err != nil {
+		fsp.End()
+		return nil, err
+	}
 	res.FuncStarts = c.FuncStarts()
 	fsp.Count("blocks", int64(c.NumBlocks()))
 	fsp.Count("funcs", int64(len(c.Funcs)))
@@ -227,7 +258,7 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 		Hints:   len(hints),
 		Outcome: out,
 		CFG:     c,
-	}
+	}, nil
 }
 
 // CollectHints runs every enabled analysis and returns the combined hint
@@ -243,13 +274,16 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 // exactly the sequence the serial path produced, regardless of which
 // stage finished first.
 func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int, scores []float64) ([]analysis.Hint, []analysis.JumpTable) {
-	return d.collectHints(g, viable, entry, scores, nil)
+	return d.collectHints(nil, g, viable, entry, scores, nil)
 }
 
-// collectHints is CollectHints with tracing: each analysis runs inside
-// its own child span of sp — one span per analysis per worker goroutine —
-// recording the hint count it produced.
-func (d *Disassembler) collectHints(g *superset.Graph, viable []bool, entry int, scores []float64, sp *obs.Span) ([]analysis.Hint, []analysis.JumpTable) {
+// collectHints is CollectHints with tracing and cancellation: each
+// analysis runs inside its own child span of sp — one span per analysis
+// per worker goroutine — recording the hint count it produced. ctx is
+// polled before each analysis starts (on both the serial and worker
+// paths); once it is done the remaining analyses are skipped, leaving an
+// incomplete hint stream the caller must discard after its own ctx check.
+func (d *Disassembler) collectHints(ctx context.Context, g *superset.Graph, viable []bool, entry int, scores []float64, sp *obs.Span) ([]analysis.Hint, []analysis.JumpTable) {
 	var tables []analysis.JumpTable
 
 	type stage struct {
@@ -282,6 +316,9 @@ func (d *Disassembler) collectHints(g *superset.Graph, viable []bool, entry int,
 
 	parts := make([][]analysis.Hint, len(stages))
 	runStage := func(i int) {
+		if ctxutil.Cancelled(ctx) {
+			return
+		}
 		ssp := sp.StartChild(stages[i].name)
 		parts[i] = stages[i].fn()
 		ssp.Count("hints", int64(len(parts[i])))

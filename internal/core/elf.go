@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"probedis/internal/ctxutil"
 	"probedis/internal/dis"
 	"probedis/internal/elfx"
 	"probedis/internal/obs"
@@ -33,7 +35,16 @@ type SectionDetail struct {
 // verification oracle, which uses it to replay a section under deliberately
 // wrong extern sets.
 func (d *Disassembler) DisassembleSection(code []byte, base uint64, entry int, extern []superset.Range) *Detail {
-	return d.DisassembleSectionTrace(code, base, entry, extern, nil)
+	det, _ := d.DisassembleSectionTraceContext(nil, code, base, entry, extern, nil)
+	return det
+}
+
+// DisassembleSectionContext is DisassembleSection with cooperative
+// cancellation: once ctx is done the pipeline aborts between stages (and
+// within a few thousand offsets inside the superset/correction hot
+// loops) and returns (nil, ctx.Err()).
+func (d *Disassembler) DisassembleSectionContext(ctx context.Context, code []byte, base uint64, entry int, extern []superset.Range) (*Detail, error) {
+	return d.DisassembleSectionTraceContext(ctx, code, base, entry, extern, nil)
 }
 
 // DisassembleSectionTrace is DisassembleSection with stage tracing: every
@@ -41,16 +52,30 @@ func (d *Disassembler) DisassembleSection(code []byte, base uint64, entry int, e
 // hint analysis, correction with its sub-phases, CFG recovery) becomes a
 // child span of sp. A nil sp runs the exact untraced path.
 func (d *Disassembler) DisassembleSectionTrace(code []byte, base uint64, entry int, extern []superset.Range, sp *obs.Span) *Detail {
+	det, _ := d.DisassembleSectionTraceContext(nil, code, base, entry, extern, sp)
+	return det
+}
+
+// DisassembleSectionTraceContext combines tracing and cancellation; it
+// is the primitive under every section-level entry point. A nil ctx
+// never cancels; a nil sp traces nothing.
+func (d *Disassembler) DisassembleSectionTraceContext(ctx context.Context, code []byte, base uint64, entry int, extern []superset.Range, sp *obs.Span) (*Detail, error) {
 	sp.SetBytes(int64(len(code)))
 	bsp := sp.StartChild("superset")
-	g := superset.Build(code, base)
+	g, err := superset.BuildContext(ctx, code, base)
+	if err != nil {
+		if bsp != nil {
+			bsp.End()
+		}
+		return nil, err
+	}
 	if bsp != nil {
 		bsp.SetBytes(int64(len(code)))
 		bsp.Count("valid_insts", int64(g.ValidCount()))
 		bsp.End()
 	}
 	g.SetExtern(extern)
-	return d.run(g, entry, sp)
+	return d.runContext(ctx, g, entry, sp)
 }
 
 // DisassembleELFDetail is DisassembleELF returning the full pipeline
@@ -62,7 +87,17 @@ func (d *Disassembler) DisassembleSectionTrace(code []byte, base uint64, entry i
 // disassembler's worker pool (see WithWorkers) and reassembled in section
 // order; the output is byte-identical to the serial path.
 func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error) {
-	return d.DisassembleELFTrace(img, nil)
+	return d.DisassembleELFTraceContext(nil, img, nil)
+}
+
+// DisassembleELFDetailContext is DisassembleELFDetail with cooperative
+// cancellation: once ctx is done, queued sections are skipped, running
+// sections abort at their next checkpoint (stage boundaries, plus every
+// few thousand offsets inside the superset and correction hot loops),
+// and the call returns (nil, ctx.Err()). No partial section list is ever
+// returned.
+func (d *Disassembler) DisassembleELFDetailContext(ctx context.Context, img []byte) ([]SectionDetail, error) {
+	return d.DisassembleELFTraceContext(ctx, img, nil)
 }
 
 // DisassembleELFTrace is DisassembleELFDetail with stage tracing: ELF
@@ -73,12 +108,23 @@ func (d *Disassembler) DisassembleELFDetail(img []byte) ([]SectionDetail, error)
 // in time, so sibling durations may sum past the root's wall time; run
 // with WithWorkers(1) for an exact serial accounting.
 func (d *Disassembler) DisassembleELFTrace(img []byte, sp *obs.Span) ([]SectionDetail, error) {
+	return d.DisassembleELFTraceContext(nil, img, sp)
+}
+
+// DisassembleELFTraceContext combines tracing and cancellation; it is
+// the primitive under every whole-image entry point (the disasmd service
+// calls it with the per-request context and trace). A nil ctx never
+// cancels; a nil sp traces nothing.
+func (d *Disassembler) DisassembleELFTraceContext(ctx context.Context, img []byte, sp *obs.Span) ([]SectionDetail, error) {
 	psp := sp.StartChild("parse")
 	psp.SetBytes(int64(len(img)))
 	f, err := elfx.Parse(img)
 	psp.End()
 	if err != nil {
 		return nil, err
+	}
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
 	}
 	secs := f.ExecutableSections()
 	if len(secs) == 0 {
@@ -107,18 +153,26 @@ func (d *Disassembler) DisassembleELFTrace(img []byte, sp *obs.Span) ([]SectionD
 	}
 
 	out := make([]SectionDetail, len(secs))
-	runSection := func(i int) {
+	runSection := func(i int) error {
+		if ctxutil.Cancelled(ctx) {
+			return ctxutil.Err(ctx)
+		}
 		s := &secs[i]
 		ssp := sp.StartChild("section")
 		ssp.SetLabel(s.Name)
+		det, err := d.DisassembleSectionTraceContext(ctx, s.Data, s.Addr, entries[i], externs[i], ssp)
+		ssp.End()
+		if err != nil {
+			return err
+		}
 		out[i] = SectionDetail{
 			Name:   s.Name,
 			Addr:   s.Addr,
 			Data:   s.Data,
 			Entry:  entries[i],
-			Detail: d.DisassembleSectionTrace(s.Data, s.Addr, entries[i], externs[i], ssp),
+			Detail: det,
 		}
-		ssp.End()
+		return nil
 	}
 
 	workers := d.Workers()
@@ -127,7 +181,9 @@ func (d *Disassembler) DisassembleELFTrace(img []byte, sp *obs.Span) ([]SectionD
 	}
 	if workers <= 1 {
 		for i := range secs {
-			runSection(i)
+			if err := runSection(i); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
@@ -138,22 +194,48 @@ func (d *Disassembler) DisassembleELFTrace(img []byte, sp *obs.Span) ([]SectionD
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Per-section errors are cancellations only; runSection
+				// also short-circuits once the context is done, so
+				// remaining queued sections drain without work.
 				runSection(i)
 			}
 		}()
 	}
+feed:
 	for i := range secs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctxDone(ctx):
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
 	return out, nil
+}
+
+// ctxDone is ctx.Done() for possibly-nil contexts (a nil channel never
+// receives, so the select above reduces to the plain send).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // DisassembleELF parses a (possibly fully stripped) ELF64 image and
 // disassembles every executable section.
 func (d *Disassembler) DisassembleELF(img []byte) ([]SectionResult, error) {
-	details, err := d.DisassembleELFDetail(img)
+	return d.DisassembleELFContext(nil, img)
+}
+
+// DisassembleELFContext is DisassembleELF with cooperative cancellation
+// (see DisassembleELFDetailContext).
+func (d *Disassembler) DisassembleELFContext(ctx context.Context, img []byte) ([]SectionResult, error) {
+	details, err := d.DisassembleELFTraceContext(ctx, img, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package correct
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"probedis/internal/analysis"
+	"probedis/internal/ctxutil"
+	"probedis/internal/superset"
+)
+
+// cancelFixture builds a small but real correction workload: a code
+// chain, a data hint and a gap for the fill phase.
+func cancelFixture(t *testing.T) (g *superset.Graph, viable []bool, hints []analysis.Hint) {
+	t.Helper()
+	// nop sled; ret; unclaimed tail (gap fill); data region.
+	code := []byte{0x90, 0x90, 0x90, 0xc3, 0x90, 0x90, 0x01, 0x02, 0x03, 0x04}
+	gg, v := buildGraph(code)
+	return gg, v, []analysis.Hint{
+		{Kind: analysis.HintCode, Off: 0, Prio: analysis.PrioProof, Src: "entry"},
+		{Kind: analysis.HintData, Off: 6, Len: 4, Prio: analysis.PrioStrong, Src: "datapattern"},
+	}
+}
+
+func TestRunContextNilMatchesRun(t *testing.T) {
+	g, v, hints := cancelFixture(t)
+	want := Run(g, v, hints, Options{})
+	got, err := RunContext(context.Background(), g, v, hints, Options{})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	for i := range want.State {
+		if got.State[i] != want.State[i] || got.InstStart[i] != want.InstStart[i] {
+			t.Fatalf("outcome differs at %d", i)
+		}
+	}
+	if got.Committed != want.Committed || got.Rejected != want.Rejected || got.Retracted != want.Retracted {
+		t.Fatal("outcome counters differ")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	g, v, hints := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunContext(ctx, g, v, hints, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled run returned an outcome")
+	}
+}
+
+// TestRunContextCancelsAtEveryCheckpoint sweeps a deterministic
+// countdown across every cancellation poll of a correction run: each
+// must abort with (nil, context.Canceled), and the pool must stay usable
+// (a fresh uncancelled run still succeeds).
+func TestRunContextCancelsAtEveryCheckpoint(t *testing.T) {
+	g, v, hints := cancelFixture(t)
+	probe := &pollCounter{Context: context.Background()}
+	if _, err := RunContext(probe, g, v, hints, Options{}); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	polls := int(probe.polls.Load())
+	if polls == 0 {
+		t.Fatal("correction made no cancellation polls")
+	}
+	for n := 1; n <= polls; n++ {
+		out, err := RunContext(ctxutil.CancelAfterChecks(context.Background(), n), g, v, hints, Options{})
+		if err != context.Canceled {
+			t.Fatalf("checkpoint %d/%d: err = %v, want context.Canceled", n, polls, err)
+		}
+		if out != nil {
+			t.Fatalf("checkpoint %d: outcome returned from cancelled run", n)
+		}
+	}
+	// The scratch pool must have been released on every abort path.
+	if out := Run(g, v, hints, Options{}); out == nil || out.Committed == 0 {
+		t.Fatal("pool unusable after cancelled runs")
+	}
+}
+
+type pollCounter struct {
+	context.Context
+	polls atomic.Int32
+}
+
+func (p *pollCounter) Done() <-chan struct{} {
+	p.polls.Add(1)
+	return nil
+}

@@ -12,11 +12,13 @@
 package correct
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"sync"
 
 	"probedis/internal/analysis"
+	"probedis/internal/ctxutil"
 	"probedis/internal/obs"
 	"probedis/internal/superset"
 )
@@ -76,9 +78,27 @@ func (o *Outcome) SrcName(i int) string {
 	return "gapfill"
 }
 
+// commitCheckInterval is the number of hint commits between cancellation
+// polls in RunContext's commit loop. Commits are orders of magnitude
+// heavier than offset scans, so the interval is correspondingly smaller
+// than ctxutil.CheckInterval.
+const commitCheckInterval = 256
+
 // Run executes prioritized error correction over the superset graph.
 // hints are consumed in SortHints order; viable gates all code commits.
 func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) *Outcome {
+	out, _ := RunContext(nil, g, viable, hints, opts)
+	return out
+}
+
+// RunContext is Run with cooperative cancellation: the commit loop polls
+// ctx every commitCheckInterval hints and the retract/gap-fill scans every
+// ctxutil.CheckInterval offsets. Once the context is done the run aborts
+// and returns (nil, ctx.Err()) — the partial outcome is discarded, never
+// returned, so callers can't mistake an aborted classification for a
+// complete one. A nil ctx (what Run passes) keeps the exact uncancellable
+// instruction sequence.
+func RunContext(ctx context.Context, g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) (*Outcome, error) {
 	n := g.Len()
 	o := &Outcome{
 		State:     make([]State, n),
@@ -99,12 +119,24 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 	sc := scratchPool.Get().(*scratch)
 	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
 		stack: sc.stack, succs: sc.succs, chain: sc.chain}
+	// release returns the scratch buffers to the pool; it runs on every
+	// exit, including cancellation aborts, so a cancelled run never leaks
+	// the (grown) buffers.
+	release := func() {
+		sc.stack, sc.succs, sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]
+		scratchPool.Put(sc)
+	}
 	csp := opts.Trace.StartChild("commit")
 	var lastSrc string
 	var haveLast bool
 	for i, hi := range order {
 		if opts.MaxHints > 0 && i >= opts.MaxHints {
 			break
+		}
+		if i&(commitCheckInterval-1) == 0 && ctxutil.Cancelled(ctx) {
+			csp.End()
+			release()
+			return nil, ctxutil.Err(ctx)
 		}
 		h := hints[hi]
 		// Consecutive hints usually share a source (the sort groups by
@@ -131,12 +163,21 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 	csp.End()
 
 	rsp := opts.Trace.StartChild("retract")
-	o.Retracted = c.retract()
+	retracted, err := c.retract(ctx)
 	rsp.End()
+	if err != nil {
+		release()
+		return nil, err
+	}
+	o.Retracted = retracted
 	if !opts.NoGapFill {
 		gsp := opts.Trace.StartChild("gapfill")
-		c.fillGaps(opts.Scores)
+		err := c.fillGaps(ctx, opts.Scores)
 		gsp.End()
+		if err != nil {
+			release()
+			return nil, err
+		}
 	}
 	if opts.Trace != nil {
 		opts.Trace.Count("committed", int64(o.Committed))
@@ -144,9 +185,8 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 		opts.Trace.Count("retracted", int64(o.Retracted))
 	}
 
-	sc.stack, sc.succs, sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]
-	scratchPool.Put(sc)
-	return o
+	release()
+	return o, nil
 }
 
 // scratch bundles the corrector's reusable work buffers. Pooled: one
@@ -163,45 +203,65 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // forced successor turned out to be data (or the middle of another
 // committed instruction) were wrong — un-commit them, turning their bytes
 // into data, and repeat until no contradiction remains. Returns the number
-// of instructions retracted.
-func (c *corrector) retract() int {
+// of instructions retracted. The scan polls ctx once per
+// ctxutil.CheckInterval offsets (outside the per-offset loop, so the
+// nil-ctx path is unchanged) and aborts with ctx.Err() when cancelled.
+func (c *corrector) retract(ctx context.Context) (int, error) {
 	total := 0
+	n := c.g.Len()
 	for {
 		changed := 0
-		for off := 0; off < c.g.Len(); off++ {
-			if !c.out.InstStart[off] {
-				continue
+		for chunk := 0; chunk < n; chunk += ctxutil.CheckInterval {
+			if ctxutil.Cancelled(ctx) {
+				return 0, ctxutil.Err(ctx)
 			}
-			bad := false
-			c.succs = c.g.ForcedSuccs(c.succs[:0], off)
-			for _, s := range c.succs {
-				if s < 0 {
-					bad = true
-					break
-				}
-				if c.out.State[s] == Data ||
-					(c.out.Owner[s] != -1 && !c.out.InstStart[s]) {
-					bad = true
-					break
-				}
+			end := chunk + ctxutil.CheckInterval
+			if end > n {
+				end = n
 			}
-			if !bad {
-				continue
-			}
-			from, to := c.g.Occupies(off)
-			for i := from; i < to; i++ {
-				c.out.State[i] = Data
-				c.out.Owner[i] = -1
-				c.out.SrcOf[i] = 0
-			}
-			c.out.InstStart[off] = false
-			changed++
+			changed += c.retractScan(chunk, end)
 		}
 		total += changed
 		if changed == 0 {
-			return total
+			return total, nil
 		}
 	}
+}
+
+// retractScan runs one contradiction scan over [from, to), returning the
+// number of instructions retracted.
+func (c *corrector) retractScan(from, to int) int {
+	changed := 0
+	for off := from; off < to; off++ {
+		if !c.out.InstStart[off] {
+			continue
+		}
+		bad := false
+		c.succs = c.g.ForcedSuccs(c.succs[:0], off)
+		for _, s := range c.succs {
+			if s < 0 {
+				bad = true
+				break
+			}
+			if c.out.State[s] == Data ||
+				(c.out.Owner[s] != -1 && !c.out.InstStart[s]) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			continue
+		}
+		a, b := c.g.Occupies(off)
+		for i := a; i < b; i++ {
+			c.out.State[i] = Data
+			c.out.Owner[i] = -1
+			c.out.SrcOf[i] = 0
+		}
+		c.out.InstStart[off] = false
+		changed++
+	}
+	return changed
 }
 
 // hintKey is a hint's precomputed commit-order key: two words compared
@@ -505,10 +565,19 @@ func (c *corrector) commitData(off, n int) bool {
 
 // fillGaps resolves remaining Unknown runs. A gap whose start scores
 // code-like is tiled with a linear decode chain; anything that cannot be
-// tiled consistently becomes data.
-func (c *corrector) fillGaps(scores []float64) {
+// tiled consistently becomes data. The scan polls ctx once per
+// ctxutil.CheckInterval offsets of progress and aborts with ctx.Err()
+// when cancelled; a nil ctx never polls.
+func (c *corrector) fillGaps(ctx context.Context, scores []float64) error {
 	n := c.g.Len()
+	nextCheck := ctxutil.CheckInterval
 	for a := 0; a < n; {
+		if a >= nextCheck {
+			if ctxutil.Cancelled(ctx) {
+				return ctxutil.Err(ctx)
+			}
+			nextCheck = a + ctxutil.CheckInterval
+		}
 		if c.out.State[a] != Unknown {
 			a++
 			continue
@@ -520,6 +589,7 @@ func (c *corrector) fillGaps(scores []float64) {
 		c.fillGap(a, b, scores)
 		a = b
 	}
+	return nil
 }
 
 func (c *corrector) fillGap(a, b int, scores []float64) {

@@ -129,7 +129,10 @@ func TestRetraction(t *testing.T) {
 	out.State[1] = Data
 	out.Owner[1] = -1
 	out.InstStart[1] = false
-	n := c.retract()
+	n, err := c.retract(nil)
+	if err != nil {
+		t.Fatalf("retract: %v", err)
+	}
 	if n == 0 {
 		t.Fatal("retract found no contradictions")
 	}

@@ -1,0 +1,105 @@
+package ctxutil
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCancelledNil(t *testing.T) {
+	if Cancelled(nil) {
+		t.Fatal("nil context reported cancelled")
+	}
+	if Err(nil) != nil {
+		t.Fatal("nil context reported an error")
+	}
+}
+
+func TestCancelledBackground(t *testing.T) {
+	if Cancelled(context.Background()) {
+		t.Fatal("background context reported cancelled")
+	}
+}
+
+func TestCancelledLiveAndCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if Cancelled(ctx) {
+		t.Fatal("live context reported cancelled")
+	}
+	cancel()
+	if !Cancelled(ctx) {
+		t.Fatal("cancelled context reported live")
+	}
+	if Err(ctx) != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", Err(ctx))
+	}
+}
+
+// TestCancelAfterChecks pins the countdown semantics: exactly the n-th
+// Cancelled poll (and every later one) observes the cancellation.
+func TestCancelAfterChecks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10} {
+		ctx := CancelAfterChecks(context.Background(), n)
+		for i := 1; i < n; i++ {
+			if Cancelled(ctx) {
+				t.Fatalf("n=%d: cancelled at poll %d", n, i)
+			}
+			if ctx.Err() != nil {
+				t.Fatalf("n=%d: Err != nil before trip", n)
+			}
+		}
+		if !Cancelled(ctx) {
+			t.Fatalf("n=%d: not cancelled at poll %d", n, n)
+		}
+		if !Cancelled(ctx) {
+			t.Fatalf("n=%d: cancellation did not stick", n)
+		}
+		if ctx.Err() != context.Canceled {
+			t.Fatalf("n=%d: Err = %v, want context.Canceled", n, ctx.Err())
+		}
+	}
+}
+
+// TestCancelAfterChecksParentError verifies the countdown defers to its
+// parent before tripping.
+func TestCancelAfterChecksParentError(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := CancelAfterChecks(parent, 100)
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want parent's context.Canceled", ctx.Err())
+	}
+	// The parent's Done channel is not the countdown's: polls see the
+	// countdown channel, which has not tripped yet.
+	if Cancelled(ctx) {
+		t.Fatal("countdown tripped on first poll with n=100")
+	}
+}
+
+// TestCancelAfterChecksConcurrent exercises the countdown under parallel
+// polling (the superset builder polls from several workers); run with
+// -race.
+func TestCancelAfterChecksConcurrent(t *testing.T) {
+	ctx := CancelAfterChecks(context.Background(), 64)
+	done := make(chan bool, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			saw := false
+			for i := 0; i < 100; i++ {
+				if Cancelled(ctx) {
+					saw = true
+					break
+				}
+			}
+			done <- saw
+		}()
+	}
+	saw := 0
+	for w := 0; w < 4; w++ {
+		if <-done {
+			saw++
+		}
+	}
+	if saw == 0 {
+		t.Fatal("no goroutine observed the cancellation after 400 polls")
+	}
+}

@@ -35,12 +35,14 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"probedis/internal/analysis"
 	"probedis/internal/core"
 	"probedis/internal/correct"
+	"probedis/internal/ctxutil"
 	"probedis/internal/dis"
 	"probedis/internal/x86"
 )
@@ -369,13 +371,25 @@ const parallelWorkers = 4
 // structural and hint-stream invariants. The error return is a parse or
 // pipeline failure, not a violation.
 func CheckELF(d *core.Disassembler, img []byte) (*Report, error) {
+	return CheckELFContext(nil, d, img)
+}
+
+// CheckELFContext is CheckELF under cooperative cancellation. Once ctx
+// is done, whichever pipeline run is active aborts at its next
+// checkpoint and the call returns ctx.Err() with a nil report — a
+// truncated run never reaches the invariant checks, so cancellation can
+// never manufacture partial-result violations. A nil ctx never cancels.
+func CheckELFContext(ctx context.Context, d *core.Disassembler, img []byte) (*Report, error) {
 	rep := &Report{}
-	serial, err := d.Clone(core.WithWorkers(1)).DisassembleELFDetail(img)
+	serial, err := d.Clone(core.WithWorkers(1)).DisassembleELFDetailContext(ctx, img)
 	if err != nil {
 		return nil, err
 	}
-	par, err := d.Clone(core.WithWorkers(parallelWorkers)).DisassembleELFDetail(img)
+	par, err := d.Clone(core.WithWorkers(parallelWorkers)).DisassembleELFDetailContext(ctx, img)
 	if err != nil {
+		if cerr := ctxutil.Err(ctx); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("oracle: parallel run failed where serial succeeded: %w", err)
 	}
 	CheckAgreement(rep, "elf", serial, par)

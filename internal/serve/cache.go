@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey is the SHA-256 of the request body: the pipeline is a pure
+// function of the image bytes, so content addressing is exact.
+type cacheKey = [32]byte
+
+// lru is a doubly-bounded (entry count and total body bytes) LRU of
+// marshaled 200 responses. Not safe for concurrent use: the owning
+// group serializes access.
+type lru struct {
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[cacheKey]*list.Element
+}
+
+type lruItem struct {
+	key      cacheKey
+	body     []byte
+	sections int
+}
+
+func newLRU(maxEntries int, maxBytes int64) *lru {
+	return &lru{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[cacheKey]*list.Element, maxEntries),
+	}
+}
+
+func (c *lru) get(key cacheKey) (body []byte, sections int, ok bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(e)
+	it := e.Value.(*lruItem)
+	return it.body, it.sections, true
+}
+
+// put inserts (or refreshes) an entry and returns how many entries were
+// evicted to make room. Bodies larger than the byte budget are not
+// stored at all — evicting the whole cache for one oversized response
+// would be strictly worse than skipping it.
+func (c *lru) put(key cacheKey, body []byte, sections int) (evicted int) {
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return 0
+	}
+	if e, ok := c.items[key]; ok {
+		it := e.Value.(*lruItem)
+		c.bytes += int64(len(body)) - int64(len(it.body))
+		it.body, it.sections = body, sections
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruItem{key: key, body: body, sections: sections})
+		c.bytes += int64(len(body))
+	}
+	// The just-inserted entry is at the front and within the byte budget
+	// (checked above), so with maxEntries >= 1 this never evicts it.
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		it := back.Value.(*lruItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.bytes -= int64(len(it.body))
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lru) len() int        { return c.ll.Len() }
+func (c *lru) sizeBytes() int64 { return c.bytes }
+
+// flight is one in-progress pipeline run that duplicate requests for
+// the same image attach to instead of re-running the pipeline.
+type flight struct {
+	done     chan struct{} // closed when the leader finishes
+	body     []byte        // marshaled 200 response; nil on failure
+	sections int
+	status   int    // error status when body == nil (400/429/500/504)
+	errMsg   string
+	// retry marks a leader aborted by its own context (deadline or
+	// client disconnect): the result is nobody's fault and nobody's
+	// answer, so joiners re-enter the group and elect a new leader.
+	retry bool
+}
+
+// group combines the result cache with singleflight deduplication.
+// One mutex covers both structures so "cache miss -> become leader" and
+// "publish result -> retire flight" are atomic: per unique image there
+// is exactly one pipeline run, and a joiner can never miss both the
+// flight and the cache entry it published.
+type group struct {
+	mu      sync.Mutex
+	cache   *lru
+	flights map[cacheKey]*flight
+}
+
+func newGroup(maxEntries int, maxBytes int64) *group {
+	return &group{
+		cache:   newLRU(maxEntries, maxBytes),
+		flights: make(map[cacheKey]*flight),
+	}
+}
+
+// lookup returns either a cached body (hit=true), an existing flight to
+// join, or a fresh flight the caller now leads (lead=true, already
+// registered).
+func (g *group) lookup(key cacheKey) (body []byte, sections int, f *flight, hit, lead bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if body, sections, ok := g.cache.get(key); ok {
+		return body, sections, nil, true, false
+	}
+	if f, ok := g.flights[key]; ok {
+		return nil, 0, f, false, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return nil, 0, f, false, true
+}
+
+// publish stores the leader's success in the cache, retires the flight
+// and wakes joiners. Returns the number of cache evictions.
+func (g *group) publish(key cacheKey, f *flight, body []byte, sections int) int {
+	g.mu.Lock()
+	f.body, f.sections = body, sections
+	evicted := g.cache.put(key, body, sections)
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return evicted
+}
+
+// abort retires the flight without caching anything. retry=true makes
+// joiners re-elect instead of inheriting the error (used for leader
+// context cancellation — a deadline or disconnect on one request says
+// nothing about the image).
+func (g *group) abort(key cacheKey, f *flight, status int, msg string, retry bool) {
+	g.mu.Lock()
+	f.status, f.errMsg, f.retry = status, msg, retry
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+}

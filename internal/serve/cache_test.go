@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func k(s string) cacheKey { return sha256.Sum256([]byte(s)) }
+
+func TestLRUGetPut(t *testing.T) {
+	c := newLRU(4, 0)
+	if _, _, ok := c.get(k("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if ev := c.put(k("a"), []byte("body-a"), 2); ev != 0 {
+		t.Fatalf("evicted %d on first insert", ev)
+	}
+	body, secs, ok := c.get(k("a"))
+	if !ok || string(body) != "body-a" || secs != 2 {
+		t.Fatalf("get = %q/%d/%v", body, secs, ok)
+	}
+	if c.len() != 1 || c.sizeBytes() != 6 {
+		t.Fatalf("len=%d bytes=%d", c.len(), c.sizeBytes())
+	}
+}
+
+func TestLRUEntryBoundEvictsOldest(t *testing.T) {
+	c := newLRU(2, 0)
+	c.put(k("a"), []byte("a"), 1)
+	c.put(k("b"), []byte("b"), 1)
+	// Touch a so b is the least recently used.
+	c.get(k("a"))
+	if ev := c.put(k("c"), []byte("c"), 1); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, _, ok := c.get(k("b")); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, _, ok := c.get(k("a")); !ok {
+		t.Fatal("recently-used a evicted")
+	}
+}
+
+func TestLRUByteBudget(t *testing.T) {
+	c := newLRU(100, 10)
+	c.put(k("a"), []byte("aaaa"), 1) // 4 bytes
+	c.put(k("b"), []byte("bbbb"), 1) // 8 bytes
+	if ev := c.put(k("c"), []byte("cccc"), 1); ev != 1 {
+		t.Fatalf("evicted %d, want 1 (12 bytes > 10 budget)", ev)
+	}
+	if c.sizeBytes() > 10 {
+		t.Fatalf("bytes=%d over budget", c.sizeBytes())
+	}
+	// A body over the whole budget is refused outright, evicting nothing.
+	before := c.len()
+	if ev := c.put(k("huge"), make([]byte, 11), 1); ev != 0 {
+		t.Fatalf("oversized insert evicted %d", ev)
+	}
+	if c.len() != before {
+		t.Fatal("oversized body was stored")
+	}
+	if _, _, ok := c.get(k("huge")); ok {
+		t.Fatal("oversized body retrievable")
+	}
+}
+
+func TestLRURefreshSameKey(t *testing.T) {
+	c := newLRU(4, 0)
+	c.put(k("a"), []byte("v1"), 1)
+	c.put(k("a"), []byte("longer-v2"), 3)
+	if c.len() != 1 {
+		t.Fatalf("len=%d after refresh", c.len())
+	}
+	body, secs, ok := c.get(k("a"))
+	if !ok || string(body) != "longer-v2" || secs != 3 {
+		t.Fatalf("refresh lost: %q/%d/%v", body, secs, ok)
+	}
+	if c.sizeBytes() != int64(len("longer-v2")) {
+		t.Fatalf("bytes=%d after refresh", c.sizeBytes())
+	}
+}
+
+func TestLRUManyEvictions(t *testing.T) {
+	c := newLRU(3, 0)
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += c.put(k(fmt.Sprint(i)), []byte{byte(i)}, 1)
+	}
+	if c.len() != 3 {
+		t.Fatalf("len=%d, want 3", c.len())
+	}
+	if total != 7 {
+		t.Fatalf("evictions=%d, want 7", total)
+	}
+}
+
+func TestGroupSingleLeader(t *testing.T) {
+	g := newGroup(4, 0)
+	_, _, f1, hit, lead := g.lookup(k("img"))
+	if hit || !lead {
+		t.Fatalf("first lookup: hit=%v lead=%v", hit, lead)
+	}
+	_, _, f2, hit, lead := g.lookup(k("img"))
+	if hit || lead || f2 != f1 {
+		t.Fatalf("second lookup must join the flight: hit=%v lead=%v same=%v", hit, lead, f2 == f1)
+	}
+	g.publish(k("img"), f1, []byte("res"), 1)
+	select {
+	case <-f1.done:
+	default:
+		t.Fatal("publish did not close the flight")
+	}
+	body, _, _, hit, _ := g.lookup(k("img"))
+	if !hit || string(body) != "res" {
+		t.Fatalf("post-publish lookup: hit=%v body=%q", hit, body)
+	}
+}
+
+func TestGroupAbortRetry(t *testing.T) {
+	g := newGroup(4, 0)
+	_, _, f, _, lead := g.lookup(k("img"))
+	if !lead {
+		t.Fatal("not leader")
+	}
+	g.abort(k("img"), f, 504, "deadline", true)
+	<-f.done
+	if !f.retry || f.status != 504 || f.body != nil {
+		t.Fatalf("flight after abort: %+v", f)
+	}
+	if _, _, ok := g.cache.get(k("img")); ok {
+		t.Fatal("aborted flight reached the cache")
+	}
+	// The key is free again: next lookup elects a new leader.
+	_, _, f2, hit, lead := g.lookup(k("img"))
+	if hit || !lead || f2 == f {
+		t.Fatal("abort did not retire the flight")
+	}
+}

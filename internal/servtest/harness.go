@@ -1,0 +1,254 @@
+// Package servtest is the chaos/load harness for the disassembly
+// service: it runs the real internal/serve server on a real loopback
+// listener (so client-side misbehaviour — slow reads, mid-body
+// disconnects — reaches the server exactly as it would in production)
+// and provides the measurement tools the chaos tests assert with:
+// goroutine-leak tracking with stack-dump artifacts, Prometheus scrape
+// parsing, and hostile client primitives.
+package servtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"probedis/internal/serve"
+)
+
+// Harness runs one serve.Server on a loopback listener.
+type Harness struct {
+	Server *serve.Server
+	HTTP   *http.Server
+	Addr   string // host:port of the listener
+
+	ln     net.Listener
+	client *http.Client
+	closed chan struct{}
+}
+
+// Start listens on an ephemeral loopback port and serves s on it.
+// Keep-alives are disabled so every request is one connection — leak
+// accounting then cannot be confused by idle pooled connections.
+func Start(s *serve.Server) (*Harness, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		Server: s,
+		HTTP: &http.Server{
+			Handler:           s.Routes(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+		},
+		Addr:   ln.Addr().String(),
+		ln:     ln,
+		closed: make(chan struct{}),
+		client: &http.Client{
+			Transport: &http.Transport{DisableKeepAlives: true},
+			Timeout:   60 * time.Second,
+		},
+	}
+	h.HTTP.SetKeepAlivesEnabled(false)
+	go func() {
+		h.HTTP.Serve(ln)
+		close(h.closed)
+	}()
+	return h, nil
+}
+
+// Close shuts the listener down and waits for the serve loop to exit.
+func (h *Harness) Close() error {
+	err := h.HTTP.Close()
+	<-h.closed
+	h.client.CloseIdleConnections()
+	return err
+}
+
+// URL builds an absolute URL for path on the harness listener.
+func (h *Harness) URL(path string) string { return "http://" + h.Addr + path }
+
+// Result is one observed HTTP exchange.
+type Result struct {
+	Status int
+	Body   []byte
+	Header http.Header
+}
+
+// Post sends body to POST /disassemble (plus rawQuery, e.g. "trace=1")
+// and returns the full response.
+func (h *Harness) Post(body []byte, rawQuery string) (*Result, error) {
+	u := h.URL("/disassemble")
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	resp, err := h.client.Post(u, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
+// PostSlow streams body to the server in chunk-sized pieces with delay
+// between them — a well-behaved but slow client. The request carries an
+// accurate Content-Length, so the server blocks in body read between
+// chunks.
+func (h *Harness) PostSlow(body []byte, chunk int, delay time.Duration) (*Result, error) {
+	conn, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /disassemble HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		h.Addr, len(body))
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		if _, err := conn.Write(body[off:end]); err != nil {
+			return nil, err
+		}
+		time.Sleep(delay)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
+// PostAbort declares a body of len(body) bytes, sends only sendBytes of
+// it, then slams the connection — the mid-body disconnect case. The
+// server must recover the handler goroutine and never answer.
+func (h *Harness) PostAbort(body []byte, sendBytes int) error {
+	conn, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(conn, "POST /disassemble HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n",
+		h.Addr, len(body))
+	if sendBytes > len(body) {
+		sendBytes = len(body)
+	}
+	conn.Write(body[:sendBytes])
+	// Hard close (RST where the platform allows it): the server sees the
+	// read fail rather than a clean EOF.
+	return conn.Close()
+}
+
+// Metrics scrapes /metrics and parses every numeric series into a map
+// keyed by the full series name including labels, e.g.
+// `probedis_requests_total{code="200"}`.
+func (h *Harness) Metrics() (map[string]float64, error) {
+	resp, err := h.client.Get(h.URL("/metrics"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics scrape: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// Metric returns series (full name with labels) from a scrape, 0 when
+// the series has not been emitted yet.
+func (h *Harness) Metric(series string) (float64, error) {
+	m, err := h.Metrics()
+	if err != nil {
+		return 0, err
+	}
+	return m[series], nil
+}
+
+// Goroutines returns the live goroutine count.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// WaitGoroutines polls until the goroutine count settles at or below
+// base+slack, failing with a full stack dump after timeout. When the
+// PROBEDIS_LEAK_REPORT environment variable names a file, the dump is
+// also written there (the CI job uploads it as an artifact).
+func WaitGoroutines(base, slack int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last int
+	for {
+		runtime.GC() // flush finalizer-held goroutines
+		last = runtime.NumGoroutine()
+		if last <= base+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	dump := buf[:n]
+	if path := os.Getenv("PROBEDIS_LEAK_REPORT"); path != "" {
+		os.WriteFile(path, dump, 0o644)
+	}
+	return fmt.Errorf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
+		last, base, slack, dump)
+}
+
+// WellFormedError reports whether body parses as the service's JSON
+// error envelope with a non-empty message.
+func WellFormedError(body []byte) bool {
+	var e struct {
+		Error string `json:"error"`
+	}
+	return json.Unmarshal(body, &e) == nil && e.Error != ""
+}
+
+// WellFormedOK reports whether body parses as a 200 response with at
+// least one section.
+func WellFormedOK(body []byte) bool {
+	var r struct {
+		Sections []struct {
+			Name  string `json:"name"`
+			Bytes int    `json:"bytes"`
+		} `json:"sections"`
+	}
+	return json.Unmarshal(body, &r) == nil && len(r.Sections) > 0
+}

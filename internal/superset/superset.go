@@ -14,10 +14,13 @@
 package superset
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"probedis/internal/ctxutil"
 	"probedis/internal/x86"
 )
 
@@ -216,41 +219,81 @@ func (g *Graph) ExternTarget(addr uint64) bool {
 // offset is independent, so large sections are decoded in parallel; the
 // result is deterministic.
 func Build(code []byte, base uint64) *Graph {
+	g, _ := BuildContext(nil, code, base)
+	return g
+}
+
+// BuildContext is Build with cooperative cancellation: the decode loop
+// polls ctx every ctxutil.CheckInterval offsets (per worker on the
+// parallel path) and returns (nil, ctx.Err()) once the context is done,
+// so a cancelled request stops burning CPU within a few thousand decodes.
+// The poll sits outside the per-offset loop — the nil-ctx path (what
+// Build uses) runs the exact pre-cancellation instruction sequence.
+func BuildContext(ctx context.Context, code []byte, base uint64) (*Graph, error) {
 	g := &Graph{
 		Base: base,
 		Code: code,
 		Info: make([]Info, len(code)),
 	}
-	decodeRange := func(from, to int) {
-		for off := from; off < to; off++ {
+	// decodeRange is a top-level function (not a closure) and each
+	// branch declares its own stop flag, so the serial path allocates
+	// nothing beyond the Graph itself: the flag only escapes to the
+	// heap on the parallel path, where goroutine closures capture it.
+	const parallelThreshold = 1 << 14
+	workers := runtime.GOMAXPROCS(0)
+	cancelled := false
+	if len(code) < parallelThreshold || workers == 1 {
+		var stop atomic.Bool
+		decodeRange(ctx, g, &stop, 0, len(code))
+		cancelled = stop.Load()
+	} else {
+		// stop fans one worker's cancellation observation out to its
+		// peers: they stop at their own next checkpoint without
+		// touching the (possibly contended) context again.
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		chunk := (len(code) + workers - 1) / workers
+		for from := 0; from < len(code); from += chunk {
+			to := from + chunk
+			if to > len(code) {
+				to = len(code)
+			}
+			wg.Add(1)
+			go func(a, b int) {
+				defer wg.Done()
+				decodeRange(ctx, g, &stop, a, b)
+			}(from, to)
+		}
+		wg.Wait()
+		cancelled = stop.Load()
+	}
+	if cancelled || ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
+	return g, nil
+}
+
+// decodeRange decodes offsets [from, to) into g.Info, polling ctx (and
+// the shared stop flag) every ctxutil.CheckInterval offsets.
+func decodeRange(ctx context.Context, g *Graph, stop *atomic.Bool, from, to int) {
+	code, base := g.Code, g.Base
+	for off := from; off < to; {
+		chunkEnd := off + ctxutil.CheckInterval
+		if chunkEnd > to {
+			chunkEnd = to
+		}
+		for ; off < chunkEnd; off++ {
 			inst, err := x86.DecodeLean(code[off:], base+uint64(off))
 			if err != nil {
 				continue
 			}
 			g.Info[off] = pack(&inst)
 		}
-	}
-	const parallelThreshold = 1 << 14
-	workers := runtime.GOMAXPROCS(0)
-	if len(code) < parallelThreshold || workers == 1 {
-		decodeRange(0, len(code))
-		return g
-	}
-	var wg sync.WaitGroup
-	chunk := (len(code) + workers - 1) / workers
-	for from := 0; from < len(code); from += chunk {
-		to := from + chunk
-		if to > len(code) {
-			to = len(code)
+		if off < to && (stop.Load() || ctxutil.Cancelled(ctx)) {
+			stop.Store(true)
+			return
 		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			decodeRange(a, b)
-		}(from, to)
 	}
-	wg.Wait()
-	return g
 }
 
 // Len returns the section size.
