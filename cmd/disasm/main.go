@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	modelPath := fs.String("model", "", "load a trained model (see cmd/train); default trains in-process")
 	workers := fs.Int("workers", 0, "pipeline worker goroutines: sections and analyses run concurrently (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	selfcheck := fs.Bool("selfcheck", false, "run the verification oracle on this binary: re-disassemble serially and in parallel, check every structural invariant, and exit nonzero on any violation")
+	tier := fs.Bool("tier", true, "tiered correction: settle structurally-hinted regions first and score statistics only over contested windows (off = single-phase reference; output is identical)")
 	trace := fs.Bool("trace", false, "print the per-stage span tree (wall time, bytes, allocs, counters) after the summary; runs serially unless -workers is set so stage durations account for total wall time")
 	traceJSON := fs.Bool("trace-json", false, "emit the span tree as JSON on stdout instead of any other output")
 	if err := fs.Parse(args); err != nil {
@@ -72,7 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if (*trace || *traceJSON) && *workers == 0 {
 		*workers = 1
 	}
-	d := core.New(model, core.WithWorkers(*workers))
+	opts := []core.Option{core.WithWorkers(*workers)}
+	if !*tier {
+		opts = append(opts, core.WithoutTiering())
+	}
+	d := core.New(model, opts...)
 	if *selfcheck {
 		rep, err := oracle.CheckELF(d, img)
 		if err != nil {
@@ -113,6 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  jump tables:   %d\n", len(det.Tables))
 		fmt.Fprintf(stdout, "  hints: %d (committed %d, rejected %d, retracted %d)\n",
 			det.Hints, det.Outcome.Committed, det.Outcome.Rejected, det.Outcome.Retracted)
+		if p := det.Tier; p != nil && p.Total > 0 {
+			fmt.Fprintf(stdout, "  tier: settled %d/%d bytes (%.1f%%), %d contested windows\n",
+				p.SettledBytes, p.Total,
+				100*float64(p.SettledBytes)/float64(p.Total), len(p.Windows))
+		}
 		if *showRegions {
 			fmt.Fprintln(stdout, "  data regions (attribution = analysis that claimed the first byte):")
 			for _, reg := range res.Regions() {

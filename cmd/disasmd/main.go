@@ -57,10 +57,11 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 128, "result cache capacity in entries (0 = disable cache)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache capacity in body bytes")
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
+	tier := flag.Bool("tier", true, "tiered correction: score statistics only over contested windows (off = single-phase reference; output is identical)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-queue n]"+
-			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd]")
+			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd] [-tier=false]")
 		os.Exit(2)
 	}
 
@@ -80,7 +81,11 @@ func main() {
 		model = core.DefaultModel()
 	}
 
-	d := core.New(model, core.WithWorkers(*workers))
+	copts := []core.Option{core.WithWorkers(*workers)}
+	if !*tier {
+		copts = append(copts, core.WithoutTiering())
+	}
+	d := core.New(model, copts...)
 	s := serve.New(d, serve.Config{
 		Slots:        *batch,
 		Queue:        *queue,

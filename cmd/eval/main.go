@@ -4,7 +4,7 @@
 // Usage:
 //
 //	eval                 # run everything
-//	eval -experiment T2  # run one experiment (T1-T8, F1-F4, E1-E2)
+//	eval -experiment T2  # run one experiment (T1-T9, F1-F4, E1-E2)
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "", "experiment ID to run (T1-T8, F1-F4, E1-E2); empty runs all")
+	exp := flag.String("experiment", "", "experiment ID to run (T1-T9, F1-F4, E1-E2); empty runs all")
 	format := flag.String("format", "text", "output format: text or csv")
 	flag.Parse()
 
@@ -71,6 +71,8 @@ func main() {
 		run(noErr(r.T7PerProfile()))
 	case "T8":
 		run(noErr(r.T8StageCost()))
+	case "T9":
+		run(noErr(r.T9TierSettlement()))
 	case "F1":
 		run(r.F1Density())
 	case "F2":

@@ -58,8 +58,24 @@ func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
 // hints, below it data hints (0 is the calibrated default; the F4
 // experiment sweeps it).
 func StatHints(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64) []Hint {
-	hs := make([]Hint, 0, g.Len()/2)
-	for off := 0; off < g.Len(); off++ {
+	return StatHintsRange(g, viable, scores, penaltyWeight, threshold, 0, g.Len(),
+		make([]Hint, 0, g.Len()/2))
+}
+
+// StatHintsRange is StatHints restricted to offsets [from, to): it emits
+// exactly the hints StatHints would emit at those offsets (the behaviour
+// penalty's chain walk still reads the whole graph, so values are
+// identical). The tiered pipeline calls it once per contested window,
+// appending to dst. from/to are clamped to the section.
+func StatHintsRange(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64, from, to int, dst []Hint) []Hint {
+	if from < 0 {
+		from = 0
+	}
+	if to > g.Len() {
+		to = g.Len()
+	}
+	hs := dst
+	for off := from; off < to; off++ {
 		if !g.Valid(off) {
 			continue
 		}

@@ -23,6 +23,7 @@ import (
 	"probedis/internal/obs"
 	"probedis/internal/stats"
 	"probedis/internal/superset"
+	"probedis/internal/tier"
 )
 
 // Option configures a Disassembler.
@@ -48,6 +49,14 @@ func WithoutPrioritization() Option { return func(d *Disassembler) { d.flatPrio 
 // WithThreshold shifts the statistical decision boundary (F4 sweep).
 func WithThreshold(t float64) Option { return func(d *Disassembler) { d.threshold = t } }
 
+// WithoutTiering disables the tiered correction pre-pass: statistical
+// scores and hints are computed over the whole section instead of only
+// the contested windows left undecided by the structural hints. The
+// classification is byte-identical either way (see package tier); the
+// single-phase path exists as the reference for that equivalence and for
+// experiments that replay the full hint stream.
+func WithoutTiering() Option { return func(d *Disassembler) { d.useTier = false } }
+
 // WithFloatRuns enables the experimental unreferenced-constant-pool
 // detector (see analysis.FloatRunHints for why it is off by default).
 func WithFloatRuns() Option { return func(d *Disassembler) { d.useFloatRuns = true } }
@@ -71,6 +80,7 @@ type Disassembler struct {
 	useStats      bool
 	useJumpTables bool
 	useFloatRuns  bool
+	useTier       bool
 	flatPrio      bool
 	penaltyWeight float64
 	threshold     float64
@@ -93,6 +103,7 @@ func New(model *stats.Model, opts ...Option) *Disassembler {
 		model:         model,
 		useStats:      true,
 		useJumpTables: true,
+		useTier:       true,
 		penaltyWeight: 1.0,
 		window:        8,
 	}
@@ -152,6 +163,12 @@ type Detail struct {
 	Hints   int
 	Outcome *correct.Outcome
 	CFG     *cfg.CFG
+
+	// Tier is the settled/contested partition the tiered correction
+	// pre-pass derived after the structural commit phase; nil when the
+	// run used the single-phase path (WithoutTiering, WithoutStats or
+	// WithoutPrioritization).
+	Tier *tier.Partition
 }
 
 // DisassembleDetail is Disassemble plus all intermediate products.
@@ -182,23 +199,36 @@ func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry 
 		return nil, ctxutil.Err(ctx)
 	}
 
+	// The tiered path defers statistical scoring and hints until the
+	// structural hints have been committed, then runs them only over the
+	// contested windows. It requires the statistical layer (otherwise
+	// there is nothing to defer) and the prioritized commit order (flat
+	// priorities erase the structural/statistical rank gap the phase
+	// split relies on — see correct.RunTieredContext).
+	tiered := d.useTier && d.useStats && !d.flatPrio
+
 	// Scores are consumed by StatHints and the corrector's gap fill and
 	// never escape this call, so the slice cycles through a pool instead
-	// of being reallocated for every section.
+	// of being reallocated for every section. On the tiered path the
+	// buffer is filled lazily per contested window; the stale values at
+	// settled offsets are never read (gap fill consults scores only at
+	// gap starts, and every gap is a subset of a contested window).
 	var scores []float64
 	if d.useStats {
 		scores = getScoreBuf(g.Len())
 		defer putScoreBuf(scores)
-		ssp := sp.StartChild("stats")
-		d.model.ScoreAllInto(scores, g, d.window)
-		ssp.Count("scored", int64(len(scores)))
-		ssp.End()
-		if ctxutil.Cancelled(ctx) {
-			return nil, ctxutil.Err(ctx)
+		if !tiered {
+			ssp := sp.StartChild("stats")
+			d.model.ScoreAllInto(scores, g, d.window)
+			ssp.Count("scored", int64(len(scores)))
+			ssp.End()
+			if ctxutil.Cancelled(ctx) {
+				return nil, ctxutil.Err(ctx)
+			}
 		}
 	}
 	hsp := sp.StartChild("hints")
-	hints, tables := d.collectHints(ctx, g, viable, entry, scores, hsp)
+	hints, tables := d.collectHints(ctx, g, viable, entry, scores, !tiered, hsp)
 	hsp.Count("hints", int64(len(hints)))
 	hsp.End()
 	// A cancellation observed by collectHints leaves the hint stream
@@ -214,7 +244,36 @@ func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry 
 	}
 
 	csp := sp.StartChild("correct")
-	out, err := correct.RunContext(ctx, g, viable, hints, correct.Options{Scores: scores, Trace: csp})
+	var out *correct.Outcome
+	var err error
+	var part *tier.Partition
+	statHints := 0
+	if tiered {
+		structural, weak := tier.SplitHints(hints)
+		out, err = correct.RunTieredContext(ctx, g, viable, structural, func(o *correct.Outcome) []analysis.Hint {
+			part = tier.FromStates(o.State)
+			tsp := csp.StartChild("tier")
+			tsp.Count("settled", int64(part.SettledBytes))
+			tsp.Count("contested", int64(part.ContestedBytes))
+			tsp.Count("windows", int64(len(part.Windows)))
+			tsp.End()
+			ssp := csp.StartChild("stats")
+			d.model.ScoreRangesInto(scores, g, d.window, part.Windows)
+			ssp.Count("scored", int64(part.ContestedBytes))
+			ssp.End()
+			shsp := csp.StartChild("stathints")
+			var stat []analysis.Hint
+			for _, w := range part.Windows {
+				stat = analysis.StatHintsRange(g, viable, scores, d.penaltyWeight, d.threshold, w[0], w[1], stat)
+			}
+			shsp.Count("hints", int64(len(stat)))
+			shsp.End()
+			statHints = len(stat)
+			return append(stat, weak...)
+		}, correct.Options{Scores: scores, Trace: csp})
+	} else {
+		out, err = correct.RunContext(ctx, g, viable, hints, correct.Options{Scores: scores, Trace: csp})
+	}
 	csp.End()
 	if err != nil {
 		return nil, err
@@ -255,9 +314,10 @@ func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry 
 		Graph:   g,
 		Viable:  viable,
 		Tables:  tables,
-		Hints:   len(hints),
+		Hints:   len(hints) + statHints,
 		Outcome: out,
 		CFG:     c,
+		Tier:    part,
 	}, nil
 }
 
@@ -274,7 +334,7 @@ func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry 
 // exactly the sequence the serial path produced, regardless of which
 // stage finished first.
 func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int, scores []float64) ([]analysis.Hint, []analysis.JumpTable) {
-	return d.collectHints(nil, g, viable, entry, scores, nil)
+	return d.collectHints(nil, g, viable, entry, scores, true, nil)
 }
 
 // collectHints is CollectHints with tracing and cancellation: each
@@ -283,7 +343,9 @@ func (d *Disassembler) CollectHints(g *superset.Graph, viable []bool, entry int,
 // polled before each analysis starts (on both the serial and worker
 // paths); once it is done the remaining analyses are skipped, leaving an
 // incomplete hint stream the caller must discard after its own ctx check.
-func (d *Disassembler) collectHints(ctx context.Context, g *superset.Graph, viable []bool, entry int, scores []float64, sp *obs.Span) ([]analysis.Hint, []analysis.JumpTable) {
+// includeStat gates the statistical stage: the tiered pipeline passes
+// false and generates stat hints later, over the contested windows only.
+func (d *Disassembler) collectHints(ctx context.Context, g *superset.Graph, viable []bool, entry int, scores []float64, includeStat bool, sp *obs.Span) ([]analysis.Hint, []analysis.JumpTable) {
 	var tables []analysis.JumpTable
 
 	type stage struct {
@@ -308,7 +370,7 @@ func (d *Disassembler) collectHints(ctx context.Context, g *superset.Graph, viab
 	if d.useFloatRuns {
 		stages = append(stages, stage{"floatrun", func() []analysis.Hint { return analysis.FloatRunHints(g) }})
 	}
-	if d.useStats && scores != nil {
+	if includeStat && d.useStats && scores != nil {
 		stages = append(stages, stage{"stat", func() []analysis.Hint {
 			return analysis.StatHints(g, viable, scores, d.penaltyWeight, d.threshold)
 		}})

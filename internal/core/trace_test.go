@@ -74,7 +74,10 @@ func TestTraceSpanTree(t *testing.T) {
 		for _, st := range sec.Children() {
 			stages[st.Name] = st
 		}
-		for _, want := range []string{"superset", "viability", "stats", "hints", "correct", "emit", "cfg"} {
+		// Under the (default) tiered path, statistical scoring happens
+		// inside the correction stage, so "stats" is a child of "correct"
+		// rather than of the section span.
+		for _, want := range []string{"superset", "viability", "hints", "correct", "emit", "cfg"} {
 			if stages[want] == nil {
 				t.Fatalf("section %d missing stage span %q (have %v)", i, want, names(sec.Children()))
 			}
@@ -87,19 +90,49 @@ func TestTraceSpanTree(t *testing.T) {
 		if st := stages["superset"]; st.Counter("valid_insts") <= 0 {
 			t.Error("superset span lost valid_insts counter")
 		}
-		if st := stages["hints"]; st.Counter("hints") != int64(secs[i].Detail.Hints) {
-			t.Errorf("hints counter = %d, want %d", st.Counter("hints"), secs[i].Detail.Hints)
+		// Detail.Hints is the run's total hint count: the structural/weak
+		// stream collected up front plus the statistical hints generated
+		// inside the correction stage (tiered path).
+		var statCount int64
+		for _, c := range stages["correct"].Children() {
+			if c.Name == "stathints" {
+				statCount = c.Counter("hints")
+			}
+		}
+		if st := stages["hints"]; st.Counter("hints")+statCount != int64(secs[i].Detail.Hints) {
+			t.Errorf("hints counter = %d (+%d stat), want %d",
+				st.Counter("hints"), statCount, secs[i].Detail.Hints)
 		}
 		// Per-analysis child spans under "hints", in canonical serial order.
+		// The tiered path defers the "stat" analysis into the correction
+		// stage, so it is absent here.
 		an := names(stages["hints"].Children())
-		wantAn := []string{"entry", "jumptable", "calltarget", "prologue", "datapattern", "literalpool", "stat"}
+		wantAn := []string{"entry", "jumptable", "calltarget", "prologue", "datapattern", "literalpool"}
 		if !reflect.DeepEqual(an, wantAn) {
 			t.Errorf("analysis spans = %v, want %v", an, wantAn)
 		}
-		// Correction sub-phases and outcome counters.
+		// Correction sub-phases (tiered: two commit phases bracketing the
+		// contested-window scoring) and outcome counters.
 		cor := stages["correct"]
-		if got := names(cor.Children()); !reflect.DeepEqual(got, []string{"sort", "commit", "retract", "gapfill"}) {
-			t.Errorf("correct sub-spans = %v", got)
+		wantCor := []string{"sort-structural", "commit-structural", "tier", "stats", "stathints",
+			"sort-contested", "commit-contested", "retract", "gapfill"}
+		if got := names(cor.Children()); !reflect.DeepEqual(got, wantCor) {
+			t.Errorf("correct sub-spans = %v, want %v", got, wantCor)
+		}
+		if ti := secs[i].Detail.Tier; ti == nil {
+			t.Errorf("section %d: default pipeline left Detail.Tier nil", i)
+		} else {
+			var tsp *obs.Span
+			for _, c := range cor.Children() {
+				if c.Name == "tier" {
+					tsp = c
+				}
+			}
+			if tsp.Counter("settled") != int64(ti.SettledBytes) ||
+				tsp.Counter("contested") != int64(ti.ContestedBytes) ||
+				tsp.Counter("windows") != int64(len(ti.Windows)) {
+				t.Errorf("tier span counters %v diverge from partition %+v", tsp.Counters(), ti)
+			}
 		}
 		out := secs[i].Detail.Outcome
 		if cor.Counter("committed") != int64(out.Committed) ||

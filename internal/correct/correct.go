@@ -44,6 +44,11 @@ type Options struct {
 	Scores []float64
 	// NoGapFill leaves Unknown bytes unresolved (ablation).
 	NoGapFill bool
+	// NoRetract skips the contradiction-retraction fixpoint, leaving the
+	// raw post-commit state. Used by the tiered pre-pass, which inspects
+	// the state after the structural commit prefix: retraction must run
+	// only once, after the full commit sequence.
+	NoRetract bool
 	// Trace, when non-nil, receives one child span per correction phase
 	// (sort, commit, retract, gapfill) plus the committed/rejected/
 	// retracted counters. Nil (the default) traces nothing.
@@ -99,6 +104,57 @@ func Run(g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) 
 // complete one. A nil ctx (what Run passes) keeps the exact uncancellable
 // instruction sequence.
 func RunContext(ctx context.Context, g *superset.Graph, viable []bool, hints []analysis.Hint, opts Options) (*Outcome, error) {
+	c := newCorrector(g, viable)
+	defer c.release()
+	if err := c.commitHints(ctx, hints, opts.MaxHints, opts.Trace, ""); err != nil {
+		return nil, err
+	}
+	return c.finish(ctx, opts)
+}
+
+// PhaseHintsFunc produces the second-phase hint stream of a tiered run,
+// given the outcome of the structural commit prefix. Implementations may
+// read o (typically the Unknown runs, which delimit the contested
+// windows) but must not mutate it.
+type PhaseHintsFunc func(o *Outcome) []analysis.Hint
+
+// RunTieredContext executes correction in two phases. Phase one commits
+// the structural hints; rest then inspects the intermediate state and
+// returns the remaining (statistical and weak) hints, which phase two
+// commits; retraction and gap fill run once, after both phases.
+//
+// The result is byte-identical to a single RunContext over the combined
+// hint stream whenever (a) every structural hint outranks every hint
+// rest returns (the priority-first sort then concatenates the two phases
+// exactly as the single sorted stream would), and (b) rest returns the
+// hints the single run would have carried at offsets still undecided —
+// hints at already-decided offsets are provable no-ops, because the
+// commit phase is monotone: instruction starts are never cleared and
+// data bytes never reclassified until the retraction fixpoint, which
+// here runs only after all commits, exactly as in the single run.
+//
+// MaxHints is not supported on this path (the budget experiment replays
+// single-phase runs) and is ignored.
+func RunTieredContext(ctx context.Context, g *superset.Graph, viable []bool, structural []analysis.Hint, rest PhaseHintsFunc, opts Options) (*Outcome, error) {
+	c := newCorrector(g, viable)
+	defer c.release()
+	if err := c.commitHints(ctx, structural, 0, opts.Trace, "-structural"); err != nil {
+		return nil, err
+	}
+	contested := rest(c.out)
+	if ctxutil.Cancelled(ctx) {
+		return nil, ctxutil.Err(ctx)
+	}
+	if err := c.commitHints(ctx, contested, 0, opts.Trace, "-contested"); err != nil {
+		return nil, err
+	}
+	return c.finish(ctx, opts)
+}
+
+// newCorrector allocates the outcome and wires up pooled scratch buffers.
+// release must run on every exit, including cancellation aborts, so a
+// cancelled run never leaks the (grown) buffers.
+func newCorrector(g *superset.Graph, viable []bool) *corrector {
 	n := g.Len()
 	o := &Outcome{
 		State:     make([]State, n),
@@ -110,33 +166,38 @@ func RunContext(ctx context.Context, g *superset.Graph, viable []bool, hints []a
 	for i := range o.Owner {
 		o.Owner[i] = -1
 	}
+	sc := scratchPool.Get().(*scratch)
+	return &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
+		sc: sc, stack: sc.stack, succs: sc.succs, chain: sc.chain}
+}
 
-	ssp := opts.Trace.StartChild("sort")
+// release returns the (possibly grown) scratch buffers to the pool.
+func (c *corrector) release() {
+	c.sc.stack, c.sc.succs, c.sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]
+	scratchPool.Put(c.sc)
+	c.sc = nil
+}
+
+// commitHints sorts one hint stream into commit order and consumes it.
+// label suffixes the trace span names so a tiered run's two phases stay
+// distinguishable in stage-cost tables.
+func (c *corrector) commitHints(ctx context.Context, hints []analysis.Hint, maxHints int, trace *obs.Span, label string) error {
+	o := c.out
+	ssp := trace.StartChild("sort" + label)
 	order := sortOrder(hints)
 	ssp.Count("hints", int64(len(hints)))
 	ssp.End()
 
-	sc := scratchPool.Get().(*scratch)
-	c := &corrector{g: g, viable: viable, out: o, srcIdx: map[string]uint8{"": 0},
-		stack: sc.stack, succs: sc.succs, chain: sc.chain}
-	// release returns the scratch buffers to the pool; it runs on every
-	// exit, including cancellation aborts, so a cancelled run never leaks
-	// the (grown) buffers.
-	release := func() {
-		sc.stack, sc.succs, sc.chain = c.stack[:0], c.succs[:0], c.chain[:0]
-		scratchPool.Put(sc)
-	}
-	csp := opts.Trace.StartChild("commit")
+	csp := trace.StartChild("commit" + label)
+	defer csp.End()
 	var lastSrc string
 	var haveLast bool
 	for i, hi := range order {
-		if opts.MaxHints > 0 && i >= opts.MaxHints {
+		if maxHints > 0 && i >= maxHints {
 			break
 		}
 		if i&(commitCheckInterval-1) == 0 && ctxutil.Cancelled(ctx) {
-			csp.End()
-			release()
-			return nil, ctxutil.Err(ctx)
+			return ctxutil.Err(ctx)
 		}
 		h := hints[hi]
 		// Consecutive hints usually share a source (the sort groups by
@@ -160,22 +221,27 @@ func RunContext(ctx context.Context, g *superset.Graph, viable []bool, hints []a
 			o.Rejected++
 		}
 	}
-	csp.End()
+	return nil
+}
 
-	rsp := opts.Trace.StartChild("retract")
-	retracted, err := c.retract(ctx)
-	rsp.End()
-	if err != nil {
-		release()
-		return nil, err
+// finish runs the post-commit phases — retraction fixpoint and gap fill —
+// and returns the completed outcome.
+func (c *corrector) finish(ctx context.Context, opts Options) (*Outcome, error) {
+	o := c.out
+	if !opts.NoRetract {
+		rsp := opts.Trace.StartChild("retract")
+		retracted, err := c.retract(ctx)
+		rsp.End()
+		if err != nil {
+			return nil, err
+		}
+		o.Retracted = retracted
 	}
-	o.Retracted = retracted
 	if !opts.NoGapFill {
 		gsp := opts.Trace.StartChild("gapfill")
 		err := c.fillGaps(ctx, opts.Scores)
 		gsp.End()
 		if err != nil {
-			release()
 			return nil, err
 		}
 	}
@@ -184,8 +250,6 @@ func RunContext(ctx context.Context, g *superset.Graph, viable []bool, hints []a
 		opts.Trace.Count("rejected", int64(o.Rejected))
 		opts.Trace.Count("retracted", int64(o.Retracted))
 	}
-
-	release()
 	return o, nil
 }
 
@@ -451,6 +515,7 @@ type corrector struct {
 	g      *superset.Graph
 	viable []bool
 	out    *Outcome
+	sc     *scratch // pool entry backing stack/succs/chain; see release
 	stack  []int
 	succs  []int
 	chain  []int // commitChain's successor buffer (stack and succs are live there)
@@ -600,6 +665,11 @@ func (c *corrector) fillGap(a, b int, scores []float64) {
 	if !codeLike && c.nopTiles(a, b) {
 		codeLike = true
 	}
+	// Tile starts committed into this gap, kept for the post-derail
+	// consistency sweep below. c.stack is idle during gap fill (the
+	// commit phase is over), so its backing array is reused.
+	tiles := c.stack[:0]
+	derailed := false
 	pos := a
 	for pos < b {
 		if codeLike && c.canPlace(pos) {
@@ -612,6 +682,7 @@ func (c *corrector) fillGap(a, b int, scores []float64) {
 					c.out.Owner[i] = int32(pos)
 				}
 				c.out.InstStart[pos] = true
+				tiles = append(tiles, pos)
 				pos = to
 				continue
 			}
@@ -620,12 +691,64 @@ func (c *corrector) fillGap(a, b int, scores []float64) {
 		c.out.State[pos] = Data
 		pos++
 		codeLike = false // once derailed, finish the gap as data
+		derailed = true
+	}
+	// A derail rewrites the gap's tail as data after earlier tiles were
+	// already committed; a tile whose forced successor now lands on those
+	// data bytes (a fallthrough into the tail, or a branch ahead of the
+	// derail point) is the very contradiction retraction removes — but
+	// retraction already ran. Restore consistency locally.
+	if derailed && len(tiles) > 0 {
+		c.unwindTiles(tiles)
+	}
+	c.stack = tiles[:0]
+}
+
+// unwindTiles retracts gap tiles invalidated by a mid-gap derail, to a
+// fixpoint: retracting one tile turns its bytes into data, which can
+// invalidate the tile falling into it, and so on backward through the
+// gap. The badness predicate matches retractScan's.
+func (c *corrector) unwindTiles(tiles []int) {
+	for changed := true; changed; {
+		changed = false
+		for i, t := range tiles {
+			if t < 0 {
+				continue
+			}
+			bad := false
+			c.succs = c.g.ForcedSuccs(c.succs[:0], t)
+			for _, s := range c.succs {
+				if s < 0 || c.out.State[s] == Data ||
+					(c.out.Owner[s] != -1 && !c.out.InstStart[s]) {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				continue
+			}
+			from, to := c.g.Occupies(t)
+			for j := from; j < to; j++ {
+				c.out.State[j] = Data
+				c.out.Owner[j] = -1
+				c.out.SrcOf[j] = 0
+			}
+			c.out.InstStart[t] = false
+			c.out.Retracted++
+			tiles[i] = -1
+			changed = true
+		}
 	}
 }
 
-// nopTiles reports whether [a, b) decodes as a pure run of NOP-family
-// instructions ending exactly at b.
+// nopTiles reports whether the non-empty range [a, b) decodes as a pure
+// run of NOP-family instructions ending exactly at b. An empty range is
+// not padding: the vacuous-truth answer would flip fillGap's
+// classification for zero-length gaps.
 func (c *corrector) nopTiles(a, b int) bool {
+	if a >= b {
+		return false
+	}
 	pos := a
 	for pos < b {
 		e := &c.g.Info[pos]

@@ -254,6 +254,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		{"T6", noErr(r.T6FunctionStarts)},
 		{"T7", noErr(r.T7PerProfile)},
 		{"T8", noErr(r.T8StageCost)},
+		{"T9", noErr(r.T9TierSettlement)},
 		{"F2", r.F2Scaling},
 		{"E1", r.E1Adversarial},
 	}

@@ -370,6 +370,49 @@ func (r *Runner) T7PerProfile() Table {
 	return t
 }
 
+// T9TierSettlement quantifies the tiered correction pre-pass per
+// profile: how much of each binary the structural hints settle outright
+// (bytes that never see statistical scoring), how many contested
+// windows remain, and how far the hint stream shrinks versus the
+// single-phase pipeline.
+func (r *Runner) T9TierSettlement() Table {
+	t := Table{
+		ID:      "T9",
+		Title:   "Tiered correction: structural settlement by profile",
+		Columns: []string{"profile", "bytes", "settled", "windows", "hints", "hints(1-phase)", "hint-cut"},
+	}
+	tiered := core.New(r.Model)
+	single := core.New(r.Model, core.WithoutTiering())
+	byProfile := map[string][]*synth.Binary{}
+	var order []string
+	for _, b := range r.Corpus {
+		name := profileOf(b.Name)
+		if _, ok := byProfile[name]; !ok {
+			order = append(order, name)
+		}
+		byProfile[name] = append(byProfile[name], b)
+	}
+	for _, name := range order {
+		var bytes, settled, windows, hintsTiered, hintsSingle int
+		for _, b := range byProfile[name] {
+			entry := int(b.Entry - b.Base)
+			dt := tiered.DisassembleSection(b.Code, b.Base, entry, nil)
+			ds := single.DisassembleSection(b.Code, b.Base, entry, nil)
+			if dt.Tier != nil {
+				bytes += dt.Tier.Total
+				settled += dt.Tier.SettledBytes
+				windows += len(dt.Tier.Windows)
+			}
+			hintsTiered += dt.Hints
+			hintsSingle += ds.Hints
+		}
+		t.AddRow(name, itoa(bytes), fmtPct(ratio(settled, bytes)), itoa(windows),
+			itoa(hintsTiered), itoa(hintsSingle),
+			fmtPct(1-ratio(hintsTiered, hintsSingle)))
+	}
+	return t
+}
+
 // E1Adversarial is the extension experiment: accuracy on binaries with
 // deliberate anti-disassembly junk after unconditional jumps (never
 // executed, crafted to misalign sequential decoders).
@@ -402,7 +445,7 @@ func (r *Runner) All() ([]Table, error) {
 	var out []Table
 	out = append(out, r.T1Corpus(), r.T2Accuracy(), r.T3DataCategories(),
 		r.T4Ablation(), r.T5Throughput(), r.T6FunctionStarts(), r.T7PerProfile(),
-		r.T8StageCost())
+		r.T8StageCost(), r.T9TierSettlement())
 	f1, err := r.F1Density()
 	if err != nil {
 		return nil, err

@@ -32,6 +32,9 @@
 //	                and its commit order is a total order
 //	determinism     serial (workers=1) and parallel pipeline runs produce
 //	                byte-identical classifications
+//	tier            the tiered pre-pass partition is exact: re-committing
+//	                the structural hints alone reproduces the recorded
+//	                settled/contested windows byte for byte
 package oracle
 
 import (
@@ -44,6 +47,7 @@ import (
 	"probedis/internal/correct"
 	"probedis/internal/ctxutil"
 	"probedis/internal/dis"
+	"probedis/internal/tier"
 	"probedis/internal/x86"
 )
 
@@ -58,6 +62,7 @@ const (
 	InvHintOrder     = "hint-order"
 	InvDeterminism   = "determinism"
 	InvMetamorphic   = "metamorphic"
+	InvTier          = "tier"
 )
 
 // Violation is one broken invariant.
@@ -325,6 +330,72 @@ func CheckHintDeterminism(rep *Report, sec string, collect func() []analysis.Hin
 	CheckHintOrder(rep, sec, h1)
 }
 
+// CheckTier re-derives the tiered pre-pass partition from first
+// principles and requires it to match the one the pipeline recorded: the
+// structural hints (everything outranking statistical priority) are
+// re-collected and committed alone — no retraction, no gap fill — and the
+// maximal Unknown runs of the resulting state must be exactly the
+// recorded contested windows. A settled region containing a contested
+// offset (or the reverse) is a violation: statistical evidence would have
+// been skipped (or recomputed) where the single-phase run consults it. A
+// nil det.Tier (single-phase configuration) is vacuously fine.
+func CheckTier(rep *Report, sec string, d *core.Disassembler, entry int, det *core.Detail) {
+	p := det.Tier
+	if p == nil {
+		return
+	}
+	n := det.Result.Len()
+	if p.Total != n {
+		rep.addf(InvTier, sec, -1, "partition covers %d bytes, section has %d", p.Total, n)
+		return
+	}
+	if p.SettledBytes+p.ContestedBytes != p.Total || p.SettledBytes < 0 || p.ContestedBytes < 0 {
+		rep.addf(InvTier, sec, -1, "settled %d + contested %d != total %d",
+			p.SettledBytes, p.ContestedBytes, p.Total)
+	}
+	sum, prevEnd := 0, -1
+	for _, w := range p.Windows {
+		if w[0] < 0 || w[1] > n || w[0] >= w[1] {
+			rep.addf(InvTier, sec, w[0], "malformed contested window [%#x,%#x)", w[0], w[1])
+			return
+		}
+		if w[0] <= prevEnd {
+			rep.addf(InvTier, sec, w[0], "contested windows not ascending/disjoint (prev end %#x)", prevEnd)
+			return
+		}
+		sum += w[1] - w[0]
+		prevEnd = w[1]
+	}
+	if sum != p.ContestedBytes {
+		rep.addf(InvTier, sec, -1, "windows cover %d bytes, partition claims %d contested", sum, p.ContestedBytes)
+	}
+
+	// Independent recomputation. HintsFor rebuilds the full hint stream;
+	// the statistical hints it contains all carry exactly PrioStat, so the
+	// structural split matches the one the tiered pipeline made before
+	// any statistics existed.
+	structural, _ := tier.SplitHints(d.HintsFor(det.Graph, entry))
+	phaseA := correct.Run(det.Graph, det.Viable, structural,
+		correct.Options{NoRetract: true, NoGapFill: true})
+	want := tier.FromStates(phaseA.State)
+	if want.SettledBytes != p.SettledBytes || want.ContestedBytes != p.ContestedBytes ||
+		len(want.Windows) != len(p.Windows) {
+		rep.addf(InvTier, sec, -1,
+			"recomputed partition differs: settled %d/contested %d/%d windows, recorded %d/%d/%d",
+			want.SettledBytes, want.ContestedBytes, len(want.Windows),
+			p.SettledBytes, p.ContestedBytes, len(p.Windows))
+		return
+	}
+	for i := range want.Windows {
+		if want.Windows[i] != p.Windows[i] {
+			rep.addf(InvTier, sec, p.Windows[i][0],
+				"contested window %d is [%#x,%#x), recomputation says [%#x,%#x)",
+				i, p.Windows[i][0], p.Windows[i][1], want.Windows[i][0], want.Windows[i][1])
+			return
+		}
+	}
+}
+
 // CheckAgreement compares two full pipeline runs (e.g. serial vs parallel)
 // section by section and reports any divergence.
 func CheckAgreement(rep *Report, ctx string, a, b []core.SectionDetail) {
@@ -359,6 +430,23 @@ func CheckAgreement(rep *Report, ctx string, a, b []core.SectionDetail) {
 		if oa.Committed != ob.Committed || oa.Rejected != ob.Rejected || oa.Retracted != ob.Retracted {
 			rep.addf(InvDeterminism, sec, -1, "outcome counters differ: %d/%d/%d vs %d/%d/%d",
 				oa.Committed, oa.Rejected, oa.Retracted, ob.Committed, ob.Rejected, ob.Retracted)
+		}
+		ta, tb := sa.Detail.Tier, sb.Detail.Tier
+		switch {
+		case (ta == nil) != (tb == nil):
+			rep.addf(InvDeterminism, sec, -1, "tier partition present in only one run")
+		case ta != nil:
+			same := ta.SettledBytes == tb.SettledBytes && ta.ContestedBytes == tb.ContestedBytes &&
+				len(ta.Windows) == len(tb.Windows)
+			for j := 0; same && j < len(ta.Windows); j++ {
+				same = ta.Windows[j] == tb.Windows[j]
+			}
+			if !same {
+				rep.addf(InvDeterminism, sec, -1,
+					"tier partitions differ: settled %d/%d, contested %d/%d, windows %d/%d",
+					ta.SettledBytes, tb.SettledBytes, ta.ContestedBytes, tb.ContestedBytes,
+					len(ta.Windows), len(tb.Windows))
+			}
 		}
 	}
 }
@@ -399,6 +487,7 @@ func CheckELFContext(ctx context.Context, d *core.Disassembler, img []byte) (*Re
 		CheckHintDeterminism(rep, s.Name, func() []analysis.Hint {
 			return d.HintsFor(s.Detail.Graph, s.Entry)
 		})
+		CheckTier(rep, s.Name, d, s.Entry, s.Detail)
 	}
 	return rep, nil
 }
@@ -417,6 +506,7 @@ func CheckSection(d *core.Disassembler, code []byte, base uint64, entry int) *Re
 	CheckHintDeterminism(rep, ".text", func() []analysis.Hint {
 		return d.HintsFor(par.Graph, entry)
 	})
+	CheckTier(rep, ".text", d, entry, par)
 	return rep
 }
 

@@ -1,0 +1,113 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"probedis/internal/core"
+	"probedis/internal/eval"
+	"probedis/internal/synth"
+)
+
+// tierDetail runs the default (tiered) pipeline on a fixed binary and
+// returns everything CheckTier needs.
+func tierDetail(t *testing.T) (d *core.Disassembler, entry int, code []byte, det *core.Detail) {
+	t.Helper()
+	bin, err := synth.Generate(synth.Config{Seed: 42, Profile: synth.ProfileO2, NumFuncs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = testDis()
+	entry = int(bin.Entry - bin.Base)
+	det = d.DisassembleSection(bin.Code, bin.Base, entry, nil)
+	if det.Tier == nil {
+		t.Fatal("precondition: default pipeline should record a tier partition")
+	}
+	if len(det.Tier.Windows) == 0 {
+		t.Fatal("precondition: corpus binary should leave contested windows")
+	}
+	return d, entry, bin.Code, det
+}
+
+// TestCheckTierClean: an untampered tiered run passes the tier invariant.
+func TestCheckTierClean(t *testing.T) {
+	d, entry, _, det := tierDetail(t)
+	rep := &Report{}
+	CheckTier(rep, "t", d, entry, det)
+	if !rep.OK() {
+		t.Fatalf("clean tiered run reported violations: %v", rep.Violations)
+	}
+}
+
+// TestDetectsSettledRegionContainingContestedOffset deliberately corrupts
+// the recorded partition so a settled region swallows the first contested
+// byte — exactly the corruption that would make the pipeline skip
+// statistical evidence the single-phase run consults. CheckTier must
+// flag it.
+func TestDetectsSettledRegionContainingContestedOffset(t *testing.T) {
+	d, entry, _, det := tierDetail(t)
+	det.Tier.Windows[0][0]++ // first contested byte now claimed settled
+	det.Tier.SettledBytes++
+	det.Tier.ContestedBytes--
+	if det.Tier.Windows[0][0] >= det.Tier.Windows[0][1] {
+		det.Tier.Windows = det.Tier.Windows[1:]
+	}
+	rep := &Report{}
+	CheckTier(rep, "t", d, entry, det)
+	if !hasViolation(rep, InvTier) {
+		t.Fatalf("corrupted tier partition not flagged; report: %v", rep.Violations)
+	}
+}
+
+// TestDetectsTierByteCountMismatch: inconsistent partition bookkeeping
+// (counters not matching the windows) must be flagged even before the
+// expensive recomputation.
+func TestDetectsTierByteCountMismatch(t *testing.T) {
+	d, entry, _, det := tierDetail(t)
+	det.Tier.SettledBytes++ // settled+contested no longer == total
+	rep := &Report{}
+	CheckTier(rep, "t", d, entry, det)
+	if !hasViolation(rep, InvTier) {
+		t.Fatalf("inconsistent tier byte counts not flagged; report: %v", rep.Violations)
+	}
+}
+
+// TestTieredMatchesSinglePhase is the equivalence oracle for the tiered
+// correction pass: over the whole default synthetic corpus, the tiered
+// pipeline (statistics restricted to contested windows) must produce a
+// byte-identical classification, instruction starts and function starts
+// to the single-phase reference (WithoutTiering). This is the metamorphic
+// guarantee the 2x throughput win rests on.
+func TestTieredMatchesSinglePhase(t *testing.T) {
+	spec := eval.DefaultCorpus()
+	spec.PerProfile = 2
+	spec.Funcs = 40
+	corpus, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.DefaultModel()
+	tiered := core.New(model)
+	single := core.New(model, core.WithoutTiering())
+	for ci, b := range corpus {
+		entry := int(b.Entry - b.Base)
+		dt := tiered.DisassembleSection(b.Code, b.Base, entry, nil)
+		ds := single.DisassembleSection(b.Code, b.Base, entry, nil)
+		if dt.Tier == nil {
+			t.Errorf("corpus binary %d: tiered run recorded no partition", ci)
+		}
+		if ds.Tier != nil {
+			t.Errorf("corpus binary %d: single-phase run recorded a partition", ci)
+		}
+		rt, rs := dt.Result, ds.Result
+		if !reflect.DeepEqual(rt.IsCode, rs.IsCode) {
+			t.Errorf("binary %d: IsCode diverges between tiered and single-phase", ci)
+		}
+		if !reflect.DeepEqual(rt.InstStart, rs.InstStart) {
+			t.Errorf("binary %d: InstStart diverges between tiered and single-phase", ci)
+		}
+		if !reflect.DeepEqual(rt.FuncStarts, rs.FuncStarts) {
+			t.Errorf("binary %d: FuncStarts diverge between tiered and single-phase", ci)
+		}
+	}
+}

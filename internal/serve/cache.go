@@ -51,7 +51,18 @@ func (c *lru) get(key cacheKey) (body []byte, sections int, ok bool) {
 // would be strictly worse than skipping it.
 func (c *lru) put(key cacheKey, body []byte, sections int) (evicted int) {
 	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
-		return 0
+		// Refusing the new body must still invalidate a resident entry
+		// under the same key: leaving it in place would keep serving the
+		// stale body (and keep charging its bytes) after the put was
+		// accepted at the caller's layer.
+		if e, ok := c.items[key]; ok {
+			it := e.Value.(*lruItem)
+			c.ll.Remove(e)
+			delete(c.items, key)
+			c.bytes -= int64(len(it.body))
+			evicted++
+		}
+		return evicted
 	}
 	if e, ok := c.items[key]; ok {
 		it := e.Value.(*lruItem)

@@ -81,6 +81,35 @@ func TestLRURefreshSameKey(t *testing.T) {
 	}
 }
 
+// TestLRUOversizedRefreshDropsStaleEntry: refusing an oversized body on a
+// key that is already resident must drop the old entry — the refused put
+// supersedes it, so keeping it would serve a stale body and keep its
+// bytes charged forever.
+func TestLRUOversizedRefreshDropsStaleEntry(t *testing.T) {
+	c := newLRU(4, 10)
+	c.put(k("a"), []byte("v1-old"), 1) // 6 bytes resident
+	if ev := c.put(k("a"), make([]byte, 11), 2); ev != 1 {
+		t.Fatalf("oversized refresh evicted %d, want 1 (the stale entry)", ev)
+	}
+	if body, _, ok := c.get(k("a")); ok {
+		t.Fatalf("stale body %q still served after oversized refresh", body)
+	}
+	if c.len() != 0 || c.sizeBytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after oversized refresh, want 0/0", c.len(), c.sizeBytes())
+	}
+	// Unrelated resident entries stay untouched.
+	c.put(k("b"), []byte("bb"), 1)
+	if ev := c.put(k("c"), make([]byte, 11), 1); ev != 0 {
+		t.Fatalf("oversized insert on a fresh key evicted %d", ev)
+	}
+	if _, _, ok := c.get(k("b")); !ok {
+		t.Fatal("bystander entry lost")
+	}
+	if c.sizeBytes() != 2 {
+		t.Fatalf("bytes=%d, want 2", c.sizeBytes())
+	}
+}
+
 func TestLRUManyEvictions(t *testing.T) {
 	c := newLRU(3, 0)
 	total := 0

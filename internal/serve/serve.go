@@ -474,15 +474,28 @@ func (s *Server) failPipeline(w http.ResponseWriter, ctx context.Context, err er
 	s.fail(w, status, msg)
 }
 
-// retryAfter estimates when shedding might stop: one deadline's worth
-// of drain if deadlines are on, else a nominal second.
+// retryAfter estimates when shedding might stop from the actual queue
+// depth at refusal time: a client arriving behind `waiting` queued
+// requests on Slots parallel slots needs ceil((waiting+1)/Slots) service
+// rounds before a slot frees up for it. Each round is bounded by the
+// per-request deadline when one is configured; without a deadline each
+// round is estimated at a nominal second. Always at least 1.
 func (s *Server) retryAfter() string {
+	s.mu.Lock()
+	waiting := s.nwait
+	s.mu.Unlock()
+	slots := s.cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	rounds := (waiting + slots) / slots // ceil((waiting+1)/slots), >= 1
 	if s.cfg.Deadline > 0 {
-		if secs := int(s.cfg.Deadline / time.Second); secs >= 1 {
+		d := time.Duration(rounds) * s.cfg.Deadline
+		if secs := int((d + time.Second - 1) / time.Second); secs >= 1 {
 			return fmt.Sprint(secs)
 		}
 	}
-	return "1"
+	return fmt.Sprint(rounds)
 }
 
 func (s *Server) writeOK(w http.ResponseWriter, body []byte) {

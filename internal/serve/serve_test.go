@@ -342,6 +342,54 @@ func TestLoadShed429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterReflectsQueueDepth: the Retry-After estimate must come
+// from the live queue depth, not just the configured deadline. With one
+// slot, two requests queued and an 8s deadline, a shed client is behind
+// three service rounds: Retry-After must say 24, not 8. The no-deadline
+// twin must estimate one nominal second per round (3), not a flat 1.
+func TestRetryAfterReflectsQueueDepth(t *testing.T) {
+	run := func(t *testing.T, deadline time.Duration, want string) {
+		started := make(chan struct{}, 3) // every admitted request signals once
+		release := make(chan struct{})
+		s := fastServer(Config{
+			Slots: 1, Queue: 2, Deadline: deadline, MaxBytes: 1 << 20,
+			Pipeline: blockingPipeline(started, release),
+		})
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ { // 1 occupies the slot, 2 queue behind it
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post(t, s, "/disassemble", []byte("occupant"))
+			}()
+		}
+		<-started
+		for deadlineAt := time.Now().Add(5 * time.Second); ; {
+			s.mu.Lock()
+			n := s.nwait
+			s.mu.Unlock()
+			if n == 2 {
+				break
+			}
+			if time.Now().After(deadlineAt) {
+				t.Fatalf("queue never filled: nwait=%d", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rec := post(t, s, "/disassemble", []byte("shed-me"))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != want {
+			t.Errorf("Retry-After = %q, want %q", got, want)
+		}
+		close(release)
+		wg.Wait()
+	}
+	t.Run("deadline", func(t *testing.T) { run(t, 8*time.Second, "24") })
+	t.Run("no-deadline", func(t *testing.T) { run(t, 0, "3") })
+}
+
 // TestRequestBytesCountedOnAdmission is the positive half of the
 // satellite-1 regression: admitted requests DO count their bytes.
 func TestRequestBytesCountedOnAdmission(t *testing.T) {

@@ -237,6 +237,42 @@ func (m *Model) ScoreAllInto(out []float64, g *superset.Graph, window int) {
 		scoreRange(0, g.Len())
 		return
 	}
+	m.scoreAllParallel(out, g, window, workers, scoreRange)
+}
+
+// ScoreRangesInto computes the same per-offset values ScoreAllInto would
+// (each offset's LogOdds depends only on the graph, never on neighbouring
+// scores) restricted to the half-open windows [w[0], w[1]); offsets
+// outside every window are left untouched. The tiered pipeline scores
+// only the contested windows this way — the values at those offsets are
+// bit-identical to a full scoring pass. Windows out of range are clamped;
+// len(out) must equal g.Len().
+func (m *Model) ScoreRangesInto(out []float64, g *superset.Graph, window int, windows [][2]int) {
+	if len(out) != g.Len() {
+		panic("stats: ScoreRangesInto buffer length mismatch")
+	}
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		if from < 0 {
+			from = 0
+		}
+		if to > g.Len() {
+			to = g.Len()
+		}
+		for off := from; off < to; off++ {
+			s, n := m.LogOdds(g, off, window)
+			if n == 0 {
+				out[off] = -1e9
+				continue
+			}
+			out[off] = s / float64(n)
+		}
+	}
+}
+
+// scoreAllParallel fans ScoreAllInto's per-offset loop out over the
+// worker count (offsets are independent, so chunking is deterministic).
+func (m *Model) scoreAllParallel(out []float64, g *superset.Graph, window, workers int, scoreRange func(from, to int)) {
 	var wg sync.WaitGroup
 	chunk := (g.Len() + workers - 1) / workers
 	for from := 0; from < g.Len(); from += chunk {

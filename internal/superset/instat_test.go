@@ -85,7 +85,7 @@ func checkGraphMatchesEagerDecode(t *testing.T, g *Graph) {
 		// Delta-based accessors must match the materialized answers.
 		switch inst.Flow {
 		case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-			if tgt := g.target(off, e); tgt != inst.Target {
+			if tgt, _ := g.target(off, e); tgt != inst.Target {
 				t.Fatalf("+%#x: packed target %#x != decode target %#x", off, tgt, inst.Target)
 			}
 		}

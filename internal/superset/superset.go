@@ -173,6 +173,10 @@ type Graph struct {
 	// merged disjoint by SetExtern so ExternTarget can binary-search —
 	// it sits inside the corrector's canPlace/ForcedSuccs hot path.
 	extern []Range
+
+	// dc caches recent full decodes behind InstAt (see instCache). Value
+	// field, so zero-value Graphs built by struct literal keep working.
+	dc instCache
 }
 
 // SetExtern registers additional executable ranges (see Graph.extern).
@@ -277,14 +281,14 @@ func BuildContext(ctx context.Context, code []byte, base uint64) (*Graph, error)
 // the shared stop flag) every ctxutil.CheckInterval offsets.
 func decodeRange(ctx context.Context, g *Graph, stop *atomic.Bool, from, to int) {
 	code, base := g.Code, g.Base
+	var inst x86.Inst // reused across offsets; DecodeLeanInto fully resets it
 	for off := from; off < to; {
 		chunkEnd := off + ctxutil.CheckInterval
 		if chunkEnd > to {
 			chunkEnd = to
 		}
 		for ; off < chunkEnd; off++ {
-			inst, err := x86.DecodeLean(code[off:], base+uint64(off))
-			if err != nil {
+			if x86.DecodeLeanInto(&inst, code[off:], base+uint64(off)) != nil {
 				continue
 			}
 			g.Info[off] = pack(&inst)
@@ -303,27 +307,83 @@ func (g *Graph) Len() int { return len(g.Code) }
 // fits within the section.
 func (g *Graph) Valid(off int) bool { return g.Info[off].Flags&FlagValid != 0 }
 
-// InstAt materializes the full decoded instruction at off by re-decoding
-// the bytes. Offsets without a valid decode return a zero instruction
-// with Flow == FlowInvalid. This is the cold path: downstream consumers
-// call it only at the offsets they inspect in detail (committed
-// instructions, dispatch-idiom candidates, rewrite/listing emission),
-// a tiny fraction of the superset.
+// instCacheSize is the decode cache's entry count (direct-mapped by
+// offset). 128 entries cover the working set of the dispatch-idiom and
+// listing scans, which revisit a small neighbourhood of offsets, at
+// ~17 KiB per graph. Must be a power of two.
+const instCacheSize = 128
+
+// instCache is a small fixed-size direct-mapped cache of materialized
+// instructions, so hot InstAt consumers (jump-table shape checks, CFG
+// details, listing/rewrite emission, the oracle) stop paying the lazy
+// re-decode tax when they revisit offsets. Embedded by value in Graph:
+// the zero value (tag 0 = empty) is ready to use, so Graph literals in
+// tests keep working. Guarded by a mutex because analyses sharing one
+// graph run concurrently; the lock is uncontended in the serial pipeline
+// and far cheaper than a re-decode.
+type instCache struct {
+	mu    sync.Mutex
+	tags  [instCacheSize]int32 // offset+1; 0 = empty slot
+	insts [instCacheSize]x86.Inst
+}
+
+// Decode-cache hit counters, aggregated across graphs (the benchmark
+// baseline records the hit rate; see DecodeCacheStats).
+var dcHits, dcMisses atomic.Int64
+
+// DecodeCacheStats returns the cumulative InstAt decode-cache hits and
+// misses across all graphs since process start (or the last Reset).
+func DecodeCacheStats() (hits, misses int64) {
+	return dcHits.Load(), dcMisses.Load()
+}
+
+// ResetDecodeCacheStats zeroes the decode-cache counters (benchmarks
+// measure per-run rates).
+func ResetDecodeCacheStats() {
+	dcHits.Store(0)
+	dcMisses.Store(0)
+}
+
+// InstAt materializes the full decoded instruction at off, re-decoding
+// the bytes through a small per-graph cache. Offsets without a valid
+// decode return a zero instruction with Flow == FlowInvalid. This is the
+// cold path: downstream consumers call it only at the offsets they
+// inspect in detail (committed instructions, dispatch-idiom candidates,
+// rewrite/listing emission), a tiny fraction of the superset — but those
+// consumers revisit offsets, which the cache absorbs.
 func (g *Graph) InstAt(off int) x86.Inst {
 	if off < 0 || off >= len(g.Code) || !g.Info[off].Valid() {
 		return x86.Inst{Flow: x86.FlowInvalid}
 	}
-	inst, err := x86.Decode(g.Code[off:], g.Base+uint64(off))
-	if err != nil {
+	c := &g.dc
+	slot := off & (instCacheSize - 1)
+	c.mu.Lock()
+	if c.tags[slot] == int32(off)+1 {
+		inst := c.insts[slot]
+		c.mu.Unlock()
+		dcHits.Add(1)
+		return inst
+	}
+	if x86.DecodeInto(&c.insts[slot], g.Code[off:], g.Base+uint64(off)) != nil {
 		// Unreachable: Build decoded these very bytes successfully.
+		c.tags[slot] = 0
+		c.mu.Unlock()
 		return x86.Inst{Flow: x86.FlowInvalid}
 	}
+	c.tags[slot] = int32(off) + 1
+	inst := c.insts[slot]
+	c.mu.Unlock()
+	dcMisses.Add(1)
 	return inst
 }
 
-// Contains reports whether addr falls inside the section.
+// Contains reports whether addr falls inside the section. Computed as an
+// offset comparison (addr-Base < len), never as Base+len: for sections
+// ending near the top of the address space, Base+len(Code) overflows
+// uint64 and the naive form either rejects every in-section address or
+// accepts wrapped-around ones.
 func (g *Graph) Contains(addr uint64) bool {
-	return addr >= g.Base && addr < g.Base+uint64(len(g.Code))
+	return addr >= g.Base && addr-g.Base < uint64(len(g.Code))
 }
 
 // OffsetOf converts a virtual address to a section offset (-1 if outside).
@@ -336,15 +396,30 @@ func (g *Graph) OffsetOf(addr uint64) int {
 
 // target returns the absolute target address of the direct branch at off.
 // Callers must have checked that e is valid with a direct-branch flow.
-func (g *Graph) target(off int, e *Info) uint64 {
+// ok is false when the displacement arithmetic wrapped around the 64-bit
+// address space: a branch "past the wrap" is never a legitimate local
+// target and must not be legitimized by an extern range it happens to
+// wrap into.
+func (g *Graph) target(off int, e *Info) (tgt uint64, ok bool) {
+	src := g.Base + uint64(off)
 	if e.Flags&FlagTargetDelta != 0 {
-		return uint64(int64(g.Base) + int64(off) + int64(e.Delta))
+		tgt = src + uint64(int64(e.Delta))
+	} else {
+		// Displacement too wide for the packed delta: materialize.
+		tgt = g.InstAt(off).Target
 	}
-	// Displacement too wide for the packed delta: materialize.
-	return g.InstAt(off).Target
+	// Branch reach is far below 2^63, so the modular difference recovers
+	// the true signed displacement; the unsigned comparison then detects
+	// whether the addition wrapped (d > 0 must move the target up).
+	d := int64(tgt - src)
+	if d >= 0 {
+		return tgt, tgt >= src
+	}
+	return tgt, tgt <= src
 }
 
-// TargetOff returns the section offset of a direct branch target, or -1.
+// TargetOff returns the section offset of a direct branch target, or -1
+// (outside the section, or wrapped around the address space).
 func (g *Graph) TargetOff(off int) int {
 	e := &g.Info[off]
 	if !e.Valid() {
@@ -352,7 +427,9 @@ func (g *Graph) TargetOff(off int) int {
 	}
 	switch e.Flow {
 	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-		return g.OffsetOf(g.target(off, e))
+		if tgt, ok := g.target(off, e); ok {
+			return g.OffsetOf(tgt)
+		}
 	}
 	return -1
 }
@@ -392,13 +469,21 @@ func (g *Graph) ForcedSuccs(dst []int, off int) []int {
 		next := off + int(e.Len)
 		if next < len(g.Code) {
 			dst = append(dst, next)
-		} else if !g.ExternTarget(g.Base + uint64(next)) {
+		} else if end := g.Base + uint64(next); end < g.Base || !g.ExternTarget(end) {
+			// end < Base: the section boundary sits at 2^64, so there is no
+			// address for execution to continue at — never an extern match.
 			dst = append(dst, -1)
 		}
 	}
 	switch e.Flow {
 	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-		tgt := g.target(off, e)
+		tgt, ok := g.target(off, e)
+		if !ok {
+			// Target arithmetic wrapped around the address space: an
+			// impossible instruction, regardless of extern ranges.
+			dst = append(dst, -1)
+			return dst
+		}
 		if t := g.OffsetOf(tgt); t >= 0 {
 			dst = append(dst, t)
 		} else if !g.ExternTarget(tgt) {

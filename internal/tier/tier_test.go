@@ -1,0 +1,122 @@
+package tier
+
+import (
+	"reflect"
+	"testing"
+
+	"probedis/internal/analysis"
+	"probedis/internal/correct"
+)
+
+// states builds a State slice from a compact string: 'c' = Code,
+// 'd' = Data, '.' = Unknown.
+func states(s string) []correct.State {
+	out := make([]correct.State, len(s))
+	for i, ch := range s {
+		switch ch {
+		case 'c':
+			out[i] = correct.Code
+		case 'd':
+			out[i] = correct.Data
+		case '.':
+			out[i] = correct.Unknown
+		default:
+			panic("bad state char")
+		}
+	}
+	return out
+}
+
+func TestFromStates(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		windows   [][2]int
+		settled   int
+		contested int
+	}{
+		{"empty", "", nil, 0, 0},
+		{"all settled", "ccdd", nil, 4, 0},
+		{"all contested", "....", [][2]int{{0, 4}}, 0, 4},
+		{"interior window", "cc...dd", [][2]int{{2, 5}}, 4, 3},
+		{"window at start", "..cc", [][2]int{{0, 2}}, 2, 2},
+		{"window at end", "cc..", [][2]int{{2, 4}}, 2, 2},
+		{"multiple windows", ".c.d..c.", [][2]int{{0, 1}, {2, 3}, {4, 6}, {7, 8}}, 3, 5},
+		{"single byte section", ".", [][2]int{{0, 1}}, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := FromStates(states(tc.in))
+			if p.Total != len(tc.in) {
+				t.Errorf("Total = %d, want %d", p.Total, len(tc.in))
+			}
+			if !reflect.DeepEqual(p.Windows, tc.windows) {
+				t.Errorf("Windows = %v, want %v", p.Windows, tc.windows)
+			}
+			if p.SettledBytes != tc.settled || p.ContestedBytes != tc.contested {
+				t.Errorf("settled/contested = %d/%d, want %d/%d",
+					p.SettledBytes, p.ContestedBytes, tc.settled, tc.contested)
+			}
+			if p.SettledBytes+p.ContestedBytes != p.Total {
+				t.Errorf("settled+contested = %d, want Total %d",
+					p.SettledBytes+p.ContestedBytes, p.Total)
+			}
+		})
+	}
+}
+
+// TestContestedAt cross-checks the binary search against the window list
+// at every offset of a partition with several windows.
+func TestContestedAt(t *testing.T) {
+	in := ".c.d..c...dd.c"
+	p := FromStates(states(in))
+	for off := -1; off <= len(in); off++ {
+		want := off >= 0 && off < len(in) && in[off] == '.'
+		if got := p.ContestedAt(off); got != want {
+			t.Errorf("ContestedAt(%d) = %v, want %v (states %q)", off, got, want, in)
+		}
+	}
+}
+
+func TestSplitHints(t *testing.T) {
+	hints := []analysis.Hint{
+		{Off: 0, Prio: analysis.PrioProof},
+		{Off: 1, Prio: analysis.PrioStat},
+		{Off: 2, Prio: analysis.PrioStrong},
+		{Off: 3, Prio: analysis.PrioWeak},
+		{Off: 4, Prio: analysis.PrioMedium},
+		{Off: 5, Prio: analysis.PrioStat + 1}, // just above the boundary
+	}
+	structural, rest := SplitHints(hints)
+	wantStructural := []int{0, 2, 4, 5}
+	wantRest := []int{1, 3}
+	var gotS, gotR []int
+	for _, h := range structural {
+		if h.Prio <= analysis.PrioStat {
+			t.Errorf("structural hint at off %d has prio %d <= PrioStat", h.Off, h.Prio)
+		}
+		gotS = append(gotS, h.Off)
+	}
+	for _, h := range rest {
+		if h.Prio > analysis.PrioStat {
+			t.Errorf("rest hint at off %d has prio %d > PrioStat", h.Off, h.Prio)
+		}
+		gotR = append(gotR, h.Off)
+	}
+	if !reflect.DeepEqual(gotS, wantStructural) {
+		t.Errorf("structural offsets = %v, want %v (input order must be preserved)", gotS, wantStructural)
+	}
+	if !reflect.DeepEqual(gotR, wantRest) {
+		t.Errorf("rest offsets = %v, want %v (input order must be preserved)", gotR, wantRest)
+	}
+	if len(structural)+len(rest) != len(hints) {
+		t.Errorf("split dropped hints: %d + %d != %d", len(structural), len(rest), len(hints))
+	}
+}
+
+func TestSplitHintsEmpty(t *testing.T) {
+	structural, rest := SplitHints(nil)
+	if len(structural) != 0 || len(rest) != 0 {
+		t.Errorf("SplitHints(nil) = %v, %v, want empty halves", structural, rest)
+	}
+}

@@ -109,6 +109,21 @@ func DecodeLean(code []byte, addr uint64) (inst Inst, err error) {
 	return
 }
 
+// DecodeInto is Decode writing its result through inst instead of
+// returning it by value. The superset decode cache stores instructions
+// in place, and Inst is large enough (~128 bytes) that the by-value
+// return is measurable on bulk paths.
+func DecodeInto(inst *Inst, code []byte, addr uint64) error {
+	return decodeInto(inst, code, addr, false)
+}
+
+// DecodeLeanInto is DecodeLean writing through inst (see DecodeInto).
+// Superset construction decodes at every byte offset, so avoiding one
+// 128-byte copy per offset is a real fraction of the build.
+func DecodeLeanInto(inst *Inst, code []byte, addr uint64) error {
+	return decodeInto(inst, code, addr, true)
+}
+
 func decodeInto(inst *Inst, code []byte, addr uint64, lean bool) error {
 	d := decodeState{code: code, addr: addr, lean: lean}
 	*inst = Inst{Addr: addr, Cond: CondNone, OpSize: 32}
