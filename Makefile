@@ -1,9 +1,9 @@
 # Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
 # end-to-end, so vet and the race detector are part of the baseline gate;
 # cover enforces the per-package statement-coverage floor.
-.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke servtest
+.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke servtest acc acc-baseline
 
-verify: build vet test race cover servtest
+verify: build vet test race cover acc servtest
 
 build:
 	go build ./...
@@ -32,17 +32,38 @@ bench-smoke:
 		go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee /tmp/bench-smoke.out
 	go run ./cmd/benchdiff -in /tmp/bench-smoke.out -dir . -report-only
 
+# Accuracy-regression gate: score the core engine on the pinned,
+# content-hashed corpus (eval.PinnedManifest) and compare against the
+# latest committed ACC_<date>.json. Accuracy is deterministic on a pinned
+# corpus, so the tolerance is float noise only — any real drop fails.
+ACC_DATE = $(shell date -u +%Y-%m-%d)
+acc:
+	go run ./cmd/accdiff -dir .
+
+# Re-record the accuracy baseline (after an intentional accuracy change
+# or a corpus version bump). Commit the new ACC_<date>.json.
+acc-baseline:
+	go run ./cmd/accdiff -dir . -report-only -write ACC_$(ACC_DATE).json
+
 # Statement-coverage floor for every internal/ package. Prints the
-# per-package report and fails if any package is below $(COVER_MIN)%.
+# per-package report and fails if any package is below $(COVER_MIN)%;
+# the ground-truth layers (synth, eval) carry higher floors — the
+# corpus generator and scorer must themselves be well-tested for the
+# accuracy gate to mean anything.
 COVER_MIN = 70
+COVER_MIN_SYNTH = 90
+COVER_MIN_EVAL = 80
 cover:
 	@go test -cover ./internal/... | awk '\
 		/coverage:/ { \
 			pct = ""; \
 			for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = $$(i+1); \
 			sub(/%$$/, "", pct); \
-			printf "%-32s %6.1f%%\n", $$2, pct; \
-			if (pct + 0 < $(COVER_MIN)) { bad = 1; printf "FAIL %s below $(COVER_MIN)%% floor\n", $$2 } \
+			floor = $(COVER_MIN); \
+			if ($$2 == "probedis/internal/synth") floor = $(COVER_MIN_SYNTH); \
+			if ($$2 == "probedis/internal/eval") floor = $(COVER_MIN_EVAL); \
+			printf "%-32s %6.1f%% (floor %d%%)\n", $$2, pct, floor; \
+			if (pct + 0 < floor) { bad = 1; printf "FAIL %s below %d%% floor\n", $$2, floor } \
 		} \
 		END { exit bad }'
 

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const repoRoot = "../.."
+
+func ad(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// committedBaseline finds the checked-in ACC_<date>.json this branch
+// gates against.
+func committedBaseline(t *testing.T) string {
+	t.Helper()
+	path, err := latestAccFile(repoRoot)
+	if err != nil || path == "" {
+		t.Fatalf("no committed ACC_<date>.json baseline at repo root: %v", err)
+	}
+	return path
+}
+
+// fullRun caches one clean scoring pass: several tests need the current
+// scores and the pinned corpus costs a few hundred ms to build and score.
+var fullRun = sync.OnceValues(func() (*File, error) {
+	return score("", nil)
+})
+
+// TestGatePassesOnBaseline: re-scoring the unchanged engine against the
+// committed baseline is bit-identical and passes the gate — the
+// determinism claim the 1e-9 tolerance relies on.
+func TestGatePassesOnBaseline(t *testing.T) {
+	code, stdout, stderr := ad(t, "-baseline", committedBaseline(t))
+	if code != 0 {
+		t.Fatalf("gate failed on unchanged engine (exit %d):\n%s%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "REGRESSION") {
+		t.Errorf("clean run reported a regression:\n%s", stdout)
+	}
+}
+
+// TestInjectedRegressionFails: deliberately disabling one hint analysis
+// must fail the gate — the acceptance check that accdiff can actually
+// catch an accuracy drop. Jump-table discovery is the injected fault;
+// the adversarial jtinline profile exists to be sensitive to exactly it.
+func TestInjectedRegressionFails(t *testing.T) {
+	for _, disable := range []string{"jumptables", "stats"} {
+		t.Run(disable, func(t *testing.T) {
+			code, stdout, _ := ad(t, "-baseline", committedBaseline(t), "-disable", disable)
+			if code != 1 {
+				t.Fatalf("-disable %s: exit %d, want 1\n%s", disable, code, stdout)
+			}
+			if !strings.Contains(stdout, "REGRESSION") {
+				t.Errorf("-disable %s: no REGRESSION line:\n%s", disable, stdout)
+			}
+		})
+	}
+}
+
+// TestReportOnlyAlwaysPasses: -report-only prints the regression but
+// exits 0 (the CI smoke mode).
+func TestReportOnlyAlwaysPasses(t *testing.T) {
+	code, stdout, _ := ad(t, "-baseline", committedBaseline(t), "-disable", "jumptables", "-report-only")
+	if code != 0 {
+		t.Fatalf("-report-only exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "REGRESSION") {
+		t.Errorf("-report-only hid the regression:\n%s", stdout)
+	}
+}
+
+// TestMissingProfileFails: a profile present in the baseline but absent
+// from the current run fails the gate — the corpus only grows, so a
+// silently shrunk run must not pass.
+func TestMissingProfileFails(t *testing.T) {
+	cur, err := fullRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := *cur
+	base.Profiles = append([]ProfileScore(nil), cur.Profiles...)
+	base.Profiles = append(base.Profiles, ProfileScore{Profile: "adv-future", InstF1: 0.9})
+	dir := t.TempDir()
+	buf, _ := json.Marshal(base)
+	p := filepath.Join(dir, "ACC_2026-01-01.json")
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := ad(t, "-baseline", p)
+	if code != 1 {
+		t.Fatalf("missing profile passed the gate (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "MISSING") {
+		t.Errorf("no MISSING line for the absent profile:\n%s", stdout)
+	}
+}
+
+// TestBaselineCoversAllProfiles: the committed baseline records every
+// pinned profile, so the gate's per-profile comparison is never vacuous.
+func TestBaselineCoversAllProfiles(t *testing.T) {
+	buf, err := os.ReadFile(committedBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base File
+	if err := json.Unmarshal(buf, &base); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := fullRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ManifestVersion != cur.ManifestVersion {
+		t.Errorf("baseline manifest v%d, current v%d — re-record the baseline", base.ManifestVersion, cur.ManifestVersion)
+	}
+	have := map[string]bool{}
+	for _, p := range base.Profiles {
+		have[p.Profile] = true
+	}
+	for _, p := range cur.Profiles {
+		if !have[p.Profile] {
+			t.Errorf("committed baseline lacks pinned profile %q — run make acc-baseline", p.Profile)
+		}
+	}
+}
+
+// TestWriteAndDirScan: -write emits a loadable file that a later run in
+// the same -dir picks up as its baseline.
+func TestWriteAndDirScan(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ACC_2026-02-02.json")
+	if code, _, stderr := ad(t, "-dir", dir, "-write", out); code != 0 {
+		t.Fatalf("first write failed: %s", stderr)
+	}
+	// Decoy that must lose the lexicographic scan to the later date.
+	os.WriteFile(filepath.Join(dir, "ACC_2026-01-15.json"), []byte("{}"), 0o644)
+	code, stdout, stderr := ad(t, "-dir", dir)
+	if code != 0 {
+		t.Fatalf("second run failed against written baseline: %s", stderr)
+	}
+	if !strings.Contains(stdout, "ACC_2026-02-02.json") {
+		t.Errorf("scan did not pick the latest dated file:\n%s", stdout)
+	}
+}
+
+// TestVersionSkewRejected: a baseline recorded against a different
+// corpus generation is not comparable.
+func TestVersionSkewRejected(t *testing.T) {
+	cur, err := fullRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := *cur
+	base.ManifestVersion = cur.ManifestVersion + 1
+	dir := t.TempDir()
+	buf, _ := json.Marshal(base)
+	p := filepath.Join(dir, "ACC_2026-01-01.json")
+	os.WriteFile(p, buf, 0o644)
+	if code, _, stderr := ad(t, "-baseline", p); code != 2 || !strings.Contains(stderr, "re-record") {
+		t.Errorf("version skew: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"extra-arg"},
+		{"-disable", "wat"},
+		{"-unknown-flag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := ad(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+	if code, _, _ := ad(t, "-baseline", "no-such-file.json"); code != 2 {
+		t.Error("missing explicit baseline: want exit 2")
+	}
+}

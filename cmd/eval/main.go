@@ -4,7 +4,7 @@
 // Usage:
 //
 //	eval                 # run everything
-//	eval -experiment T2  # run one experiment (T1-T9, F1-F4, E1-E2)
+//	eval -experiment T2  # run one experiment (T1-T9, F1-F4, E1-E4)
 package main
 
 import (
@@ -16,8 +16,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "", "experiment ID to run (T1-T9, F1-F4, E1-E2); empty runs all")
+	exp := flag.String("experiment", "", "experiment ID to run (T1-T9, F1-F4, E1-E4); empty runs all")
 	format := flag.String("format", "text", "output format: text or csv")
+	realDir := flag.String("real", "testdata/real", "real-binary corpus directory (E4)")
 	flag.Parse()
 
 	r, err := eval.NewRunner()
@@ -85,6 +86,10 @@ func main() {
 		run(r.E1Adversarial())
 	case "E2":
 		run(r.E2Rewrite())
+	case "E3":
+		run(r.E3AdversarialFamily())
+	case "E4":
+		run(r.E4Real(*realDir))
 	default:
 		fmt.Fprintf(os.Stderr, "eval: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -27,10 +26,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "synth.elf", "output ELF path")
-	profile := fs.String("profile", "complex", "profile: gcc-O0, clang-O2, icc-vec, complex")
+	profile := fs.String("profile", "complex", "profile name (any compiler or adversarial profile)")
 	seed := fs.Int64("seed", 1, "generation seed")
 	funcs := fs.Int("funcs", 60, "number of functions")
-	truthPath := fs.String("truth", "", "also write ground truth (one line per byte class run)")
+	truthPath := fs.String("truth", "", "also write ground truth (probedis-truth v1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,18 +38,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var prof *synth.Profile
-	for i := range synth.DefaultProfiles {
-		if synth.DefaultProfiles[i].Name == *profile {
-			prof = &synth.DefaultProfiles[i]
-		}
-	}
-	if prof == nil {
+	prof, ok := synth.ProfileByName(*profile)
+	if !ok {
 		fmt.Fprintf(stderr, "synthgen: unknown profile %q\n", *profile)
 		return 2
 	}
 
-	b, err := synth.Generate(synth.Config{Seed: *seed, Profile: *prof, NumFuncs: *funcs})
+	b, err := synth.Generate(synth.Config{Seed: *seed, Profile: prof, NumFuncs: *funcs})
 	if err != nil {
 		fmt.Fprintln(stderr, "synthgen:", err)
 		return 1
@@ -80,17 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
-	// Runs of identical classes: "<start-addr> <len> <class>".
-	for i := 0; i < len(b.Code); {
-		j := i
-		for j < len(b.Code) && b.Truth.Classes[j] == b.Truth.Classes[i] {
-			j++
-		}
-		fmt.Fprintf(w, "%#x %d %s\n", b.Base+uint64(i), j-i, b.Truth.Classes[i])
-		i = j
-	}
-	if err := w.Flush(); err != nil {
+	if err := synth.WriteTruth(f, b.Truth, b.Base); err != nil {
 		fmt.Fprintln(stderr, "synthgen:", err)
 		return 1
 	}

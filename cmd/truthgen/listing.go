@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"probedis/internal/synth"
+	"probedis/internal/x86"
+)
+
+// GNU `as -al` listing parser. A listing interleaves the assembler's
+// byte output with the source that produced it:
+//
+//	   4 0000 55       		push %rbp
+//	   6 0004 B8010000 		mov $1, %eax
+//	   6      00
+//	  10 0012 00000000 		.quad case0
+//
+// The first line of a statement carries the section offset, the first
+// byte group and (after a tab) the source text; continuation lines
+// repeat the line number with more bytes. Lines with no byte column are
+// labels and non-emitting directives. From this we recover byte-exact
+// truth: instruction statements mark code bytes and an instruction
+// start, data directives mark their class by directive name, and labels
+// declared `.type name,@function` (or `.globl` pointing at code) become
+// function starts.
+//
+// Byte *values* in a listing may still change at link time (relocated
+// .quad entries, extern call displacements), but byte *positions* never
+// do for a section linked as one unit — which is all truth records.
+
+// stmt is one listing statement: an offset, its emitted bytes, and the
+// source text that produced them.
+type stmt struct {
+	off    int
+	nbytes int
+	bytes  []byte // raw byte values as assembled (pre-relocation)
+	src    string
+	line   int
+}
+
+// listLine matches the line-number prefix every content line carries.
+var listLine = regexp.MustCompile(`^\s*(\d+)\s?(.*)$`)
+
+// symRef reports whether a directive operand references a symbol (after
+// stripping hex literals): symbolic entries make a table of addresses, a
+// jump table in truth terms, rather than numeric constants.
+var hexLit = regexp.MustCompile(`0[xX][0-9a-fA-F]+`)
+var symTok = regexp.MustCompile(`[A-Za-z_]`)
+
+func symRef(operands string) bool {
+	return symTok.MatchString(hexLit.ReplaceAllString(operands, ""))
+}
+
+// parseListing parses one `as -al` listing into truth for the .text
+// section. base is the link-time address of .text (positions in the
+// listing are section-relative already).
+func parseListing(r io.Reader, base uint64) (*synth.Truth, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var (
+		stmts   []*stmt
+		cur     *stmt
+		inText  = false
+		pending []string            // labels awaiting their statement offset
+		labels  = map[string]int{}  // label -> .text offset
+		funcTyp = map[string]bool{} // .type name,@function
+		globl   = map[string]bool{}
+		lineNo  int
+	)
+	flushLabels := func(off int) {
+		for _, l := range pending {
+			labels[l] = off
+		}
+		pending = pending[:0]
+	}
+	for sc.Scan() {
+		lineNo++
+		m := listLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue // page headers, blank lines
+		}
+		rest := m[2]
+		left, src, hasSrc := strings.Cut(rest, "\t")
+		if !hasSrc {
+			// Continuation line: more bytes for the current statement.
+			if cur == nil {
+				continue
+			}
+			for _, f := range strings.Fields(left) {
+				b, err := parseHexBytes(f)
+				if err != nil {
+					return nil, fmt.Errorf("listing line %d: %w", lineNo, err)
+				}
+				cur.bytes = append(cur.bytes, b...)
+				cur.nbytes += len(b)
+			}
+			continue
+		}
+		src = strings.TrimSpace(src)
+		fields := strings.Fields(left)
+
+		// Labels may prefix the source text ("foo: ret"); peel them off.
+		for {
+			name, rem, ok := cutLabel(src)
+			if !ok {
+				break
+			}
+			pending = append(pending, name)
+			src = rem
+		}
+
+		// Track section and symbol-class directives wherever they appear.
+		switch d, arg := splitDirective(src); d {
+		case ".text":
+			inText = true
+		case ".data", ".bss", ".rodata":
+			inText = false
+		case ".section":
+			inText = strings.HasPrefix(strings.TrimSpace(arg), ".text")
+		case ".globl", ".global":
+			globl[strings.TrimSpace(arg)] = true
+		case ".type":
+			name, kind, _ := strings.Cut(arg, ",")
+			if strings.Contains(kind, "function") {
+				funcTyp[strings.TrimSpace(name)] = true
+			}
+		}
+
+		if len(fields) < 2 || !inText {
+			// No byte output on this line (or not in .text): a pure label
+			// or directive. Labels stay pending until bytes appear.
+			cur = nil
+			continue
+		}
+		off, err := strconv.ParseInt(fields[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("listing line %d: bad offset %q", lineNo, fields[0])
+		}
+		b, err := parseHexBytes(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("listing line %d: %w", lineNo, err)
+		}
+		flushLabels(int(off))
+		cur = &stmt{off: int(off), nbytes: len(b), bytes: b, src: src, line: lineNo}
+		stmts = append(stmts, cur)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("listing contains no .text statements")
+	}
+
+	size := 0
+	for _, s := range stmts {
+		if end := s.off + s.nbytes; end > size {
+			size = end
+		}
+	}
+	t := &synth.Truth{
+		Classes:   make([]synth.ByteClass, size),
+		InstStart: make([]bool, size),
+	}
+	// Unattributed gaps are linker/assembler fill.
+	for i := range t.Classes {
+		t.Classes[i] = synth.ClassPadding
+	}
+	for i, s := range stmts {
+		nextIsCode := false
+		if i+1 < len(stmts) {
+			d, _ := splitDirective(stmts[i+1].src)
+			nextIsCode = d == ""
+		}
+		if err := classifyStmt(t, s, base, nextIsCode); err != nil {
+			return nil, err
+		}
+	}
+	for name, off := range labels {
+		if funcTyp[name] || (globl[name] && off < size && t.Classes[off] == synth.ClassCode && t.InstStart[off]) {
+			t.FuncStarts = append(t.FuncStarts, off)
+		}
+	}
+	sortInts(t.FuncStarts)
+	return t, nil
+}
+
+// classifyStmt records one statement's byte range in the truth.
+// nextIsCode tells alignment fill whether it leads into code.
+func classifyStmt(t *synth.Truth, s *stmt, base uint64, nextIsCode bool) error {
+	mark := func(c synth.ByteClass) {
+		for i := s.off; i < s.off+s.nbytes; i++ {
+			t.Classes[i] = c
+		}
+	}
+	d, arg := splitDirective(s.src)
+	if d == "" {
+		// An instruction statement: code bytes, instruction start at off.
+		mark(synth.ClassCode)
+		t.InstStart[s.off] = true
+		return nil
+	}
+	switch d {
+	case ".ascii", ".asciz", ".string":
+		mark(synth.ClassString)
+	case ".zero", ".skip", ".space", ".fill", ".org":
+		mark(synth.ClassPadding)
+	case ".align", ".p2align", ".balign":
+		// Alignment fill leading into code is NOP code: decode it
+		// linearly and record instruction starts, matching the synthetic
+		// generator's convention that NOP padding is valid never-executed
+		// code. Fill that precedes data (whose "fallthrough" would land
+		// mid-data) or does not decode cleanly stays padding.
+		starts, ok := decodeRange(s.bytes, base+uint64(s.off))
+		if !ok || !nextIsCode {
+			mark(synth.ClassPadding)
+			return nil
+		}
+		mark(synth.ClassCode)
+		for _, st := range starts {
+			t.InstStart[s.off+st] = true
+		}
+	case ".byte", ".word", ".short", ".2byte", ".int", ".long", ".4byte", ".quad", ".8byte":
+		if symRef(arg) {
+			mark(synth.ClassJumpTable)
+		} else {
+			mark(synth.ClassConst)
+		}
+	case ".float", ".single", ".double":
+		mark(synth.ClassConst)
+	default:
+		return fmt.Errorf("listing line %d: directive %s emitted %d bytes but has no truth class",
+			s.line, d, s.nbytes)
+	}
+	return nil
+}
+
+// decodeRange linearly decodes buf, returning instruction-start offsets;
+// ok is false when any decode fails or overruns.
+func decodeRange(buf []byte, addr uint64) ([]int, bool) {
+	var starts []int
+	for o := 0; o < len(buf); {
+		inst, err := x86.Decode(buf[o:], addr+uint64(o))
+		if err != nil || o+inst.Len > len(buf) {
+			return nil, false
+		}
+		starts = append(starts, o)
+		o += inst.Len
+	}
+	return starts, true
+}
+
+// cutLabel splits a leading "name:" off src. Numeric local labels ("1:")
+// are peeled too but never become functions.
+func cutLabel(src string) (name, rest string, ok bool) {
+	i := strings.IndexByte(src, ':')
+	if i <= 0 {
+		return "", src, false
+	}
+	name = src[:i]
+	for _, r := range name {
+		if !(r == '_' || r == '.' || r == '$' ||
+			('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')) {
+			return "", src, false
+		}
+	}
+	return name, strings.TrimSpace(src[i+1:]), true
+}
+
+// splitDirective returns the directive name and its argument text, or
+// ("", src) when src is not a directive.
+func splitDirective(src string) (string, string) {
+	if !strings.HasPrefix(src, ".") {
+		return "", src
+	}
+	d, arg, _ := strings.Cut(src, " ")
+	if t, a, ok := strings.Cut(d, "\t"); ok {
+		return t, a + " " + arg
+	}
+	return d, arg
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd-length byte group %q", s)
+	}
+	out := make([]byte, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		v, err := strconv.ParseUint(s[i:i+2], 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad byte group %q", s)
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command truthgen extracts byte-exact ground truth from compiler
+// artifacts and writes it in the probedis-truth v1 format (the same
+// format cmd/synthgen emits), so real binaries checked into
+// testdata/real/ can be scored exactly like synthetic ones.
+//
+// Two extraction modes:
+//
+//	truthgen -listing f.lst -base 0x401000 -o f.truth   # GNU `as -al` listing
+//	truthgen -elf f.dbg -o f.truth                      # symtab + DWARF line table
+//
+// Listing mode recovers truth from the assembler's own interleaving of
+// bytes and source: instruction statements become code bytes and
+// instruction starts, data directives carry their class, `.type
+// name,@function` labels become function starts. ELF mode uses STT_FUNC
+// symbol bounds, decodes each function linearly, and cross-validates
+// against the DWARF line table.
+//
+// Truth extraction reads compiler metadata — listings, symbols, DWARF —
+// but only to *score* the pipeline, never to run it: the disassembler
+// itself still sees nothing but the stripped executable bytes
+// (DESIGN.md, "Evaluation corpus").
+//
+// -check verifies the extracted truth against a (possibly stripped)
+// linked executable's text bytes with the oracle's truth-consistency
+// invariant before writing anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"probedis/internal/elfx"
+	"probedis/internal/oracle"
+	"probedis/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("truthgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listing := fs.String("listing", "", "GNU `as -al` listing to extract truth from")
+	elfPath := fs.String("elf", "", "unstripped ELF to extract truth from (symtab + DWARF)")
+	base := fs.Uint64("base", 0x401000, "link-time .text address (listing mode)")
+	out := fs.String("o", "", "output truth path (default stdout)")
+	check := fs.String("check", "", "verify truth against this linked executable's text bytes")
+	mode := fs.String("mode", "structural", "consistency mode: structural or strict")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 || (*listing == "") == (*elfPath == "") {
+		fmt.Fprintln(stderr, "usage: truthgen (-listing f.lst [-base addr] | -elf f.dbg) [-o f.truth] [-check f.elf] [-mode strict]")
+		return 2
+	}
+	var tmode oracle.TruthMode
+	switch *mode {
+	case "structural":
+		tmode = oracle.TruthStructural
+	case "strict":
+		tmode = oracle.TruthStrict
+	default:
+		fmt.Fprintf(stderr, "truthgen: unknown -mode %q\n", *mode)
+		return 2
+	}
+
+	var (
+		tr     *synth.Truth
+		trBase uint64
+		err    error
+	)
+	if *listing != "" {
+		f, ferr := os.Open(*listing)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "truthgen:", ferr)
+			return 1
+		}
+		tr, err = parseListing(f, *base)
+		f.Close()
+		trBase = *base
+	} else {
+		f, ferr := os.Open(*elfPath)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "truthgen:", ferr)
+			return 1
+		}
+		tr, trBase, err = truthFromELF(f)
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "truthgen:", err)
+		return 1
+	}
+
+	checkPath := *check
+	if checkPath == "" && *elfPath != "" {
+		checkPath = *elfPath // ELF mode always self-checks
+	}
+	if checkPath != "" {
+		if n := checkTruth(stderr, checkPath, tr, trBase, tmode); n != 0 {
+			return n
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "truthgen:", ferr)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := synth.WriteTruth(w, tr, trBase); err != nil {
+		fmt.Fprintln(stderr, "truthgen:", err)
+		return 1
+	}
+	counts := tr.Counts()
+	fmt.Fprintf(stderr, "truthgen: %d bytes (%d code), %d insts, %d funcs, %d data bytes\n",
+		len(tr.Classes), counts[synth.ClassCode], tr.NumInsts(), len(tr.FuncStarts),
+		len(tr.Classes)-counts[synth.ClassCode])
+	return 0
+}
+
+// checkTruth runs the oracle truth-consistency invariant against the
+// executable's text bytes. Returns a non-zero exit code on violation.
+func checkTruth(stderr io.Writer, path string, tr *synth.Truth, base uint64, mode oracle.TruthMode) int {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "truthgen:", err)
+		return 1
+	}
+	f, err := elfx.Parse(img)
+	if err != nil {
+		fmt.Fprintln(stderr, "truthgen: check:", err)
+		return 1
+	}
+	for _, sec := range f.ExecutableSections() {
+		if sec.Addr != base {
+			continue
+		}
+		rep := &oracle.Report{}
+		oracle.CheckTruth(rep, path, sec.Data, base, tr, mode)
+		if !rep.OK() {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(stderr, "truthgen:", v.String())
+			}
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stderr, "truthgen: check: %s has no executable section at %#x\n", path, base)
+	return 1
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+const realDir = "../../testdata/real"
+
+func tg(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestListingMatchesCommittedTruth: extraction from the committed
+// listing reproduces the committed truth file byte for byte — the
+// committed corpus is exactly what truthgen says it is.
+func TestListingMatchesCommittedTruth(t *testing.T) {
+	code, stdout, stderr := tg(t,
+		"-listing", filepath.Join(realDir, "strtab.lst"),
+		"-base", "4198400", // 0x401000
+		"-check", filepath.Join(realDir, "strtab.elf"),
+		"-mode", "strict")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join(realDir, "strtab.truth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("extracted truth differs from committed strtab.truth:\n%s", stdout)
+	}
+}
+
+// TestELFMatchesCommittedTruth: DWARF/symtab extraction reproduces the
+// committed C-fixture truth.
+func TestELFMatchesCommittedTruth(t *testing.T) {
+	code, stdout, stderr := tg(t,
+		"-elf", filepath.Join(realDir, "cfun.dbg"), "-mode", "strict")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join(realDir, "cfun.truth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("extracted truth differs from committed cfun.truth:\n%s", stdout)
+	}
+}
+
+// TestListingTruthContent spot-checks the extracted classes: the
+// fixture's jump table, strings and constant pool must all be present,
+// and the truth must parse back through the shared reader.
+func TestListingTruthContent(t *testing.T) {
+	_, stdout, _ := tg(t, "-listing", filepath.Join(realDir, "strtab.lst"))
+	tr, base, err := synth.ReadTruth(strings.NewReader(stdout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0x401000 {
+		t.Errorf("base %#x, want 0x401000", base)
+	}
+	counts := tr.Counts()
+	if counts[synth.ClassJumpTable] != 32 {
+		t.Errorf("jump table bytes = %d, want 32 (4 x .quad)", counts[synth.ClassJumpTable])
+	}
+	if counts[synth.ClassConst] != 16 {
+		t.Errorf("const bytes = %d, want 16 (2 x .double)", counts[synth.ClassConst])
+	}
+	if counts[synth.ClassString] == 0 || counts[synth.ClassPadding] == 0 {
+		t.Errorf("missing string (%d) or padding (%d) bytes",
+			counts[synth.ClassString], counts[synth.ClassPadding])
+	}
+	if len(tr.FuncStarts) != 4 {
+		t.Errorf("func starts = %d, want 4 (_start, dispatch, checksum, tailfn)", len(tr.FuncStarts))
+	}
+}
+
+// TestCheckRejectsWrongBinary: checking truth against the wrong
+// executable fails instead of writing bad truth.
+func TestCheckRejectsWrongBinary(t *testing.T) {
+	code, _, stderr := tg(t,
+		"-listing", filepath.Join(realDir, "strtab.lst"),
+		"-check", filepath.Join(realDir, "cfun.elf"))
+	if code == 0 {
+		t.Fatalf("wrong -check binary accepted: %s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-listing", "a.lst", "-elf", "b.elf"},
+		{"-listing", "a.lst", "-mode", "wat"},
+		{"-listing", "a.lst", "extra-arg"},
+	}
+	for _, args := range cases {
+		if code, _, _ := tg(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+	if code, _, _ := tg(t, "-listing", "no-such-file.lst"); code != 1 {
+		t.Error("missing listing file: want exit 1")
+	}
+	if code, _, _ := tg(t, "-elf", "no-such-file"); code != 1 {
+		t.Error("missing ELF file: want exit 1")
+	}
+}
+
+// TestRejectsMalformedListing: byte-emitting directives without a truth
+// class must fail loudly rather than default to a guess.
+func TestRejectsMalformedListing(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.lst")
+	// .uleb128 emits bytes but has no class mapping.
+	lst := "   1              \t\t.text\n" +
+		"   2 0000 90       \t\tnop\n" +
+		"   3 0001 8001     \t\t.uleb128 128\n"
+	if err := os.WriteFile(p, []byte(lst), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := tg(t, "-listing", p); code != 1 || !strings.Contains(stderr, "uleb128") {
+		t.Errorf("unclassifiable directive: exit %d, stderr %q", code, stderr)
+	}
+	// An empty listing has no .text statements.
+	empty := filepath.Join(dir, "empty.lst")
+	os.WriteFile(empty, []byte("GAS LISTING\n"), 0o644)
+	if code, _, _ := tg(t, "-listing", empty); code != 1 {
+		t.Error("empty listing accepted")
+	}
+}
+
+// TestStrippedELFRejected: ELF mode needs the symbol table.
+func TestStrippedELFRejected(t *testing.T) {
+	if code, _, stderr := tg(t, "-elf", filepath.Join(realDir, "cfun.elf")); code != 1 {
+		t.Errorf("stripped ELF accepted: exit %d, %s", code, stderr)
+	}
+}

@@ -16,6 +16,8 @@ func FuzzPipeline(f *testing.F) {
 	for _, cfg := range []synth.Config{
 		{Seed: 3, Profile: synth.ProfileO2, NumFuncs: 2},
 		{Seed: 4, Profile: synth.ProfileAdversarial, NumFuncs: 2},
+		{Seed: 5, Profile: synth.ProfileAdvOverlap, NumFuncs: 2},
+		{Seed: 6, Profile: synth.ProfileAdvObf, NumFuncs: 2},
 	} {
 		bin, err := synth.Generate(cfg)
 		if err != nil {

@@ -17,6 +17,8 @@ func FuzzLoadELF(f *testing.F) {
 	for _, cfg := range []synth.Config{
 		{Seed: 1, Profile: synth.ProfileO0, NumFuncs: 2},
 		{Seed: 2, Profile: synth.ProfileComplex, NumFuncs: 3},
+		{Seed: 8, Profile: synth.ProfileAdvMidJump, NumFuncs: 2},
+		{Seed: 8, Profile: synth.ProfileAdvFakeProl, NumFuncs: 2},
 	} {
 		bin, err := synth.Generate(cfg)
 		if err != nil {

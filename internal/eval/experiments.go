@@ -440,6 +440,36 @@ func (r *Runner) E1Adversarial() (Table, error) {
 	return t, nil
 }
 
+// E3AdversarialFamily breaks accuracy down by adversarial profile — one
+// row per SoK-taxonomy construct (overlapping instructions, computed
+// mid-instruction jumps, inline jump tables, literal pools, fake
+// prologues, obfuscator idioms), so a regression in one hostile shape is
+// visible in isolation instead of averaged away.
+func (r *Runner) E3AdversarialFamily() (Table, error) {
+	t := Table{
+		ID:      "E3",
+		Title:   "Extension: adversarial profile family (core engine per profile)",
+		Columns: []string{"profile", "bytes", "insts", "byte-err", "inst-F1", "err/1k-inst", "func-F1"},
+	}
+	d := core.New(r.Model)
+	for _, p := range synth.AdversarialProfiles {
+		spec := CorpusSpec{FirstSeed: 1, PerProfile: 3, Funcs: 60, Profiles: []synth.Profile{p}}
+		corpus, err := spec.Build()
+		if err != nil {
+			return t, err
+		}
+		var bytes, insts int
+		for _, b := range corpus {
+			bytes += len(b.Code)
+			insts += b.Truth.NumInsts()
+		}
+		m := scoreCorpus(d, corpus)
+		t.AddRow(p.Name, itoa(bytes), itoa(insts), fmtPct(m.ByteErrRate()),
+			fmtF(m.InstF1()), fmtF(m.ErrorFactor()), fmtF(m.FuncF1()))
+	}
+	return t, nil
+}
+
 // All runs every experiment in order.
 func (r *Runner) All() ([]Table, error) {
 	var out []Table
@@ -466,7 +496,11 @@ func (r *Runner) All() ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, f1, f2, f3, r.F4Threshold(), e1, e2)
+	e3, err := r.E3AdversarialFamily()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f1, f2, f3, r.F4Threshold(), e1, e2, e3)
 	return out, nil
 }
 

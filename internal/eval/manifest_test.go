@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+// TestPinnedManifestCurrent: the committed pins match what the generator
+// actually produces, and every named profile — compiler-style and
+// adversarial — is covered. A generator change that shifts any pinned
+// RNG stream fails here before it can skew accdiff comparisons.
+func TestPinnedManifestCurrent(t *testing.T) {
+	m := PinnedManifest()
+	corpus, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, pc := range corpus {
+		covered[pc.Profile] = true
+		if len(pc.Binaries) == 0 {
+			t.Errorf("profile %q: no binaries", pc.Profile)
+		}
+	}
+	for _, p := range synth.AllProfiles() {
+		if !covered[p.Name] {
+			t.Errorf("profile %q missing from pinned manifest", p.Name)
+		}
+	}
+}
+
+// TestManifestRejects: every way the pinned corpus can drift is refused
+// with a diagnosable error, table-driven over mutations of the real
+// manifest.
+func TestManifestRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Manifest)
+		wantErr string
+	}{
+		{
+			name:    "hash pin mismatch",
+			mutate:  func(m *Manifest) { m.Entries[0].SHA256 = strings.Repeat("0", 64) },
+			wantErr: "corpus drift",
+		},
+		{
+			name:    "seed drift",
+			mutate:  func(m *Manifest) { m.Entries[3].FirstSeed++ },
+			wantErr: "corpus drift",
+		},
+		{
+			name:    "funcs drift",
+			mutate:  func(m *Manifest) { m.Entries[1].Funcs = 41 },
+			wantErr: "corpus drift",
+		},
+		{
+			name:    "count drift",
+			mutate:  func(m *Manifest) { m.Entries[2].Count = 3 },
+			wantErr: "corpus drift",
+		},
+		{
+			name:    "unknown profile",
+			mutate:  func(m *Manifest) { m.Entries[0].Profile = "msvc-O3" },
+			wantErr: "unknown profile",
+		},
+		{
+			name:    "duplicate profile",
+			mutate:  func(m *Manifest) { m.Entries[1].Profile = m.Entries[0].Profile },
+			wantErr: "twice",
+		},
+		{
+			name:    "wrong version",
+			mutate:  func(m *Manifest) { m.Version = ManifestVersion + 1 },
+			wantErr: "version",
+		},
+		{
+			name:    "no entries",
+			mutate:  func(m *Manifest) { m.Entries = nil },
+			wantErr: "no entries",
+		},
+		{
+			name:    "zero count",
+			mutate:  func(m *Manifest) { m.Entries[0].Count = 0 },
+			wantErr: "want > 0",
+		},
+		{
+			name:    "training seed overlap",
+			mutate:  func(m *Manifest) { m.Entries[0].FirstSeed = 1_000_000 },
+			wantErr: "evaluation range",
+		},
+		{
+			name: "overlapping seed spans",
+			mutate: func(m *Manifest) {
+				m.Entries[1].FirstSeed = m.Entries[0].FirstSeed + int64(m.Entries[0].Count) - 1
+			},
+			wantErr: "share seeds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := PinnedManifest()
+			// Deep-copy entries so mutations stay local to the case.
+			m.Entries = append([]ManifestEntry(nil), m.Entries...)
+			tc.mutate(&m)
+			_, err := m.Build()
+			if err == nil {
+				t.Fatal("tampered manifest built cleanly")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestManifestEntryDeterministic: Compute is a pure function of the
+// entry — two runs hash identically, the property the pins rely on.
+func TestManifestEntryDeterministic(t *testing.T) {
+	e := PinnedManifest().Entries[0]
+	_, a, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same entry hashed %s then %s", a, b)
+	}
+}

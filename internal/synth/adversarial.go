@@ -1,0 +1,122 @@
+package synth
+
+// Adversarial generation profiles. Each profile takes a realistic code
+// shape (the complex profile's mix) and turns one hostile construct from
+// the SoK anti-disassembly taxonomy up far past what any compiler emits,
+// so the evaluation can attribute accuracy loss to one failure mode at a
+// time. All of them record byte-exact truth exactly like the compiler
+// profiles, and all are part of the pinned accuracy corpus (see
+// internal/eval's manifest and cmd/accdiff).
+
+// advBase is the shared code shape of the adversarial family: the
+// complex profile without its own embedded-data emphasis, so each
+// derived profile isolates a single hostile construct.
+func advBase(name string) Profile {
+	p := ProfileComplex
+	p.Name = name
+	p.JumpTableFreq = 0.10
+	p.StringFreq = 0.10
+	p.ConstFreq = 0.05
+	return p
+}
+
+var (
+	// ProfileAdvOverlap plants overlap heads after unconditional
+	// transfers: never-executed opcode bytes whose decode swallows the
+	// following genuine instruction, so the superset graph holds
+	// overlapping instructions sharing suffix bytes and sequential
+	// sweeps misalign.
+	ProfileAdvOverlap = func() Profile {
+		p := advBase("adv-overlap")
+		p.OverlapFreq = 0.7
+		return p
+	}()
+
+	// ProfileAdvMidJump replaces direct terminators with computed jumps
+	// (lea reg,[rip+target]; jmp reg) whose landing pads sit directly
+	// behind overlap heads — the continuation address is mid-instruction
+	// for any decoder that believed the overlapping decode, and no
+	// direct branch reveals it.
+	ProfileAdvMidJump = func() Profile {
+		p := advBase("adv-midjump")
+		p.MidJumpFreq = 0.35
+		p.OverlapFreq = 0.3
+		return p
+	}()
+
+	// ProfileAdvJTInline interleaves dense jump tables with the code
+	// that uses them: every switch emits its table immediately after the
+	// dispatch jump, between live basic blocks.
+	ProfileAdvJTInline = func() Profile {
+		p := advBase("adv-jtinline")
+		p.JumpTableFreq = 0.6
+		p.MinCases = 6
+		p.MaxCases = 24
+		p.InlineTables = true
+		return p
+	}()
+
+	// ProfileAdvLitPool emits ARM-style literal pools in the middle of
+	// function bodies: rip-relative loads followed by a jump over the
+	// in-line constants — the paper's "embedded data" problem in its
+	// most acute form.
+	ProfileAdvLitPool = func() Profile {
+		p := advBase("adv-litpool")
+		p.LiteralPoolFreq = 0.4
+		p.SSEDensity = 0.3
+		return p
+	}()
+
+	// ProfileAdvFakeProl follows functions with data islands shaped like
+	// prologues (endbr64; push rbp; mov rbp,rsp; sub rsp,imm) to bait
+	// pattern-matching function-start detection into fabricating
+	// functions inside data.
+	ProfileAdvFakeProl = func() Profile {
+		p := advBase("adv-fakeprol")
+		p.FakeProlFreq = 0.6
+		p.StringFreq = 0.25
+		return p
+	}()
+
+	// ProfileAdvObf mixes obfuscator control-flow idioms: call-pop getPC
+	// thunks, push-ret jumps, plus a sprinkle of overlap heads and junk
+	// in the shadows they create.
+	ProfileAdvObf = func() Profile {
+		p := advBase("adv-obf")
+		p.ObfFreq = 0.35
+		p.OverlapFreq = 0.25
+		p.JunkFreq = 0.2
+		return p
+	}()
+)
+
+// AdversarialProfiles is the adversarial corpus family: the classic E1
+// junk profile plus the SoK-taxonomy profiles above. Every profile here
+// is a row of experiment E3 and an entry in the pinned accuracy
+// manifest.
+var AdversarialProfiles = []Profile{
+	ProfileAdversarial,
+	ProfileAdvOverlap,
+	ProfileAdvMidJump,
+	ProfileAdvJTInline,
+	ProfileAdvLitPool,
+	ProfileAdvFakeProl,
+	ProfileAdvObf,
+}
+
+// AllProfiles returns every named generation profile: the compiler
+// profiles followed by the adversarial family.
+func AllProfiles() []Profile {
+	out := append([]Profile(nil), DefaultProfiles...)
+	return append(out, AdversarialProfiles...)
+}
+
+// ProfileByName resolves a profile from AllProfiles by its Name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range AllProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -234,6 +234,9 @@ func (g *gen) genFunc(idx int) {
 	if g.chance(g.p.ConstFreq) {
 		g.emitConstPool("")
 	}
+	if g.p.FakeProlFreq > 0 && g.chance(g.p.FakeProlFreq) {
+		g.emitFakeProl()
+	}
 }
 
 func (g *gen) emitEpilogue(frame bool, frameSize int32, saved []xasm.Reg) {
@@ -271,12 +274,20 @@ func (g *gen) emitCall() {
 	g.inited |= x86.RAX.Bit()
 }
 
-// emitTerminator ends block j (not the last block).
+// emitTerminator ends block j (not the last block). The adversarial
+// cases test their profile knob before drawing from the RNG, so compiler
+// profiles (all knobs zero) keep byte-identical generation streams.
 func (g *gen) emitTerminator(j int, trailing *[]func()) {
 	switch {
 	case !g.didJT && g.chance(g.p.JumpTableFreq):
 		g.didJT = true
 		g.emitSwitch(j, trailing)
+	case g.p.MidJumpFreq > 0 && g.chance(g.p.MidJumpFreq):
+		g.emitMidJump(j)
+	case g.p.LiteralPoolFreq > 0 && g.chance(g.p.LiteralPoolFreq):
+		g.emitLiteralPoolBreak(j)
+	case g.p.ObfFreq > 0 && g.chance(g.p.ObfFreq):
+		g.emitObfIdiom(j)
 	case g.chance(0.55):
 		// Conditional branch + fallthrough.
 		target := g.branchTarget(j)
@@ -293,9 +304,11 @@ func (g *gen) emitTerminator(j int, trailing *[]func()) {
 		callee := fmt.Sprintf("fn_%d", g.rng.Intn(g.nfuncs))
 		g.i(func() { g.a.JmpLabel(callee) })
 		g.maybeJunk()
+		g.maybeOverlap()
 	case g.chance(0.3):
 		g.i(func() { g.a.JmpLabel(g.branchTarget(j)) })
 		g.maybeJunk()
+		g.maybeOverlap()
 	default:
 		// Plain fallthrough.
 	}
@@ -320,6 +333,99 @@ func (g *gen) maybeJunk() {
 		g.a.Raw(junkBytes[g.rng.Intn(len(junkBytes))])
 	}
 	g.markRange(from, g.a.Len(), ClassJunk)
+}
+
+// overlapHeads are single-byte opcode heads that consume a 4-byte
+// immediate: mov r32,imm32 (B8+r), push imm32 (68), cmp/test eax,imm32
+// (3D/A9) and call/jmp rel32 (E8/E9). Planted directly before real code
+// they decode validly and swallow the next genuine instruction, so the
+// superset graph holds overlapping instructions sharing suffix bytes.
+var overlapHeads = []byte{0xb8, 0xb9, 0xba, 0xbb, 0xbe, 0xbf, 0x68, 0x3d, 0xa9, 0xe8, 0xe9}
+
+// emitOverlapHead plants one overlap head (occasionally a movabs head
+// that swallows the next 8 bytes). Only called where execution provably
+// cannot reach.
+func (g *gen) emitOverlapHead() {
+	from := g.a.Len()
+	if g.chance(0.15) {
+		g.a.Raw(0x48, 0xb8) // movabs rax, imm64: swallows 8 real bytes
+	} else {
+		g.a.Raw(overlapHeads[g.rng.Intn(len(overlapHeads))])
+	}
+	g.markRange(from, g.a.Len(), ClassOverlap)
+}
+
+// maybeOverlap plants an overlap head, profile-gated like maybeJunk:
+// no RNG is drawn when the knob is zero.
+func (g *gen) maybeOverlap() {
+	if g.p.OverlapFreq == 0 || !g.chance(g.p.OverlapFreq) {
+		return
+	}
+	g.emitOverlapHead()
+}
+
+// emitMidJump ends block j with a computed jump to the next block whose
+// landing pad sits directly behind an overlap head: no direct branch
+// reveals the continuation, and the address is mid-instruction for any
+// decoder that believed the overlapping decode.
+func (g *gen) emitMidJump(j int) {
+	r := g.pickTemp()
+	g.i(func() { g.a.LeaLabel(r, g.blocks[j+1]) })
+	g.i(func() { g.a.JmpReg(r) })
+	g.emitOverlapHead()
+}
+
+// emitLiteralPoolBreak ends block j ARM-style: a rip-relative load from
+// an in-line literal pool, a jump over the pool, then the pool itself
+// between two live basic blocks.
+func (g *gen) emitLiteralPoolBreak(j int) {
+	pool := g.label("lp")
+	x := xasm.Xmm(g.rng.Intn(8))
+	g.i(func() { g.a.MovsdLoadLabel(x, pool) })
+	g.i(func() { g.a.JmpLabel(g.blocks[j+1]) })
+	g.emitConstPool(pool)
+}
+
+// emitObfIdiom ends block j with an obfuscator control-flow idiom.
+func (g *gen) emitObfIdiom(j int) {
+	if g.chance(0.5) {
+		// call-pop getPC thunk: the call's target is its own
+		// fallthrough; the return address is consumed, never returned to.
+		lbl := g.label("pc")
+		g.i(func() { g.a.CallLabel(lbl) })
+		g.a.Label(lbl)
+		r := g.dstReg()
+		g.i(func() { g.a.Pop(r) })
+		// Falls through into the next block.
+		return
+	}
+	// push-ret: a return that is really a jump to the next block. The
+	// bytes after the ret are unreachable, so junk/overlap may follow.
+	r := g.pickTemp()
+	g.i(func() { g.a.LeaLabel(r, g.blocks[j+1]) })
+	g.i(func() { g.a.Push(r) })
+	g.i(func() { g.a.Ret() })
+	g.maybeJunk()
+	g.maybeOverlap()
+}
+
+// emitFakeProl emits a data island byte-identical to common function
+// entry sequences (endbr64; push rbp; mov rbp,rsp; sub rsp,imm8; spill),
+// baiting prologue-pattern function-start detection.
+func (g *gen) emitFakeProl() {
+	from := g.a.Len()
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.chance(0.5) {
+			g.a.Raw(0xf3, 0x0f, 0x1e, 0xfa) // endbr64
+		}
+		g.a.Raw(0x55, 0x48, 0x89, 0xe5)                      // push rbp; mov rbp,rsp
+		g.a.Raw(0x48, 0x83, 0xec, byte(8*(1+g.rng.Intn(8)))) // sub rsp, imm8
+		if g.chance(0.5) {
+			g.a.Raw(0x89, 0x7d, 0xfc) // mov [rbp-4], edi
+		}
+	}
+	g.markRange(from, g.a.Len(), ClassFakeCode)
 }
 
 // branchTarget picks a block label, biased forward, backward with
@@ -549,9 +655,11 @@ func (g *gen) emitSwitch(j int, trailing *[]func()) {
 }
 
 // placeTable emits the table immediately (embedded between code) half the
-// time, otherwise defers it to after the function body.
+// time, otherwise defers it to after the function body. InlineTables
+// profiles always embed (checked before the RNG draw so other profiles
+// keep their streams).
 func (g *gen) placeTable(emit func(), trailing *[]func()) {
-	if g.chance(0.5) {
+	if g.p.InlineTables || g.chance(0.5) {
 		emit()
 	} else {
 		*trailing = append(*trailing, emit)

@@ -46,6 +46,43 @@ type Profile struct {
 	// look like instruction prefixes/opcodes so sequential decoders
 	// misalign over the following real code. Zero in compiler profiles.
 	JunkFreq float64
+
+	// Adversarial knobs (SoK taxonomy; zero in all compiler profiles).
+	// Every knob is consulted before any RNG draw, so profiles that
+	// leave them zero keep byte-identical generation streams.
+
+	// OverlapFreq is the probability of planting an overlap head after
+	// an unconditional transfer: a single never-executed opcode byte
+	// (mov r32/imm32, push imm32, cmp/test eax,imm32, call/jmp rel32)
+	// whose decode swallows the next real instruction, creating
+	// overlapping superset instructions that share suffix bytes.
+	OverlapFreq float64
+
+	// MidJumpFreq is the probability a block terminator becomes a
+	// computed jump (lea reg,[rip+target]; jmp reg) whose landing pad is
+	// hidden behind an overlap head — the target is mid-instruction for
+	// any decoder that trusted the overlapping decode.
+	MidJumpFreq float64
+
+	// InlineTables forces every jump table to be emitted immediately
+	// after its dispatch jump, interleaved with the case blocks, instead
+	// of the default 50/50 inline/trailing placement.
+	InlineTables bool
+
+	// LiteralPoolFreq is the probability a block terminator jumps over
+	// an in-line literal pool (ARM-style in-code data island referenced
+	// by a rip-relative load just before the jump).
+	LiteralPoolFreq float64
+
+	// FakeProlFreq is the probability a function is followed by a data
+	// island shaped like function prologues (ClassFakeCode), baiting
+	// prologue-pattern function-start detection.
+	FakeProlFreq float64
+
+	// ObfFreq is the probability a block terminator uses an obfuscator
+	// control-flow idiom: call-pop (getPC thunk) or push-ret (a return
+	// that is really a jump).
+	ObfFreq float64
 }
 
 // Profiles used throughout the evaluation (T1/T2/...): they shift the

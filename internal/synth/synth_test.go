@@ -9,7 +9,7 @@ import (
 
 func testConfigs() []Config {
 	var out []Config
-	for i, p := range append(append([]Profile(nil), DefaultProfiles...), ProfileAdversarial) {
+	for i, p := range AllProfiles() {
 		out = append(out, Config{Seed: int64(100 + i), Profile: p, NumFuncs: 40})
 	}
 	return out
@@ -28,6 +28,130 @@ func TestAdversarialJunkPresent(t *testing.T) {
 		if c == ClassJunk && b.Truth.InstStart[i] {
 			t.Fatalf("junk byte at +%#x marked as instruction", i)
 		}
+	}
+}
+
+// TestAdversarialFeaturesPresent verifies each adversarial profile
+// actually produces the hostile construct it is named after: the E3 rows
+// are meaningless if a profile's knob silently stops firing.
+func TestAdversarialFeaturesPresent(t *testing.T) {
+	gen := func(p Profile) *Truth {
+		b, err := Generate(Config{Seed: 29, Profile: p, NumFuncs: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Truth
+	}
+	t.Run("overlap", func(t *testing.T) {
+		tr := gen(ProfileAdvOverlap)
+		if tr.Counts()[ClassOverlap] == 0 {
+			t.Fatal("adv-overlap produced no overlap-head bytes")
+		}
+		for i, c := range tr.Classes {
+			if c == ClassOverlap && tr.InstStart[i] {
+				t.Fatalf("overlap byte at +%#x marked as truth instruction", i)
+			}
+		}
+	})
+	t.Run("midjump", func(t *testing.T) {
+		tr := gen(ProfileAdvMidJump)
+		if tr.Counts()[ClassOverlap] == 0 {
+			t.Fatal("adv-midjump planted no overlap heads before landing pads")
+		}
+	})
+	t.Run("jtinline", func(t *testing.T) {
+		tr := gen(ProfileAdvJTInline)
+		if tr.Counts()[ClassJumpTable] == 0 {
+			t.Fatal("adv-jtinline produced no jump-table bytes")
+		}
+		// InlineTables means tables sit between code: some jump-table run
+		// must be followed by more code in the same section.
+		inline := false
+		for i := 0; i < len(tr.Classes)-1; i++ {
+			if tr.Classes[i] == ClassJumpTable {
+				for j := i + 1; j < len(tr.Classes); j++ {
+					if tr.Classes[j] == ClassCode {
+						inline = true
+						break
+					}
+				}
+				break
+			}
+		}
+		if !inline {
+			t.Fatal("no jump table interleaved with code")
+		}
+	})
+	t.Run("litpool", func(t *testing.T) {
+		tr := gen(ProfileAdvLitPool)
+		if tr.Counts()[ClassConst] == 0 {
+			t.Fatal("adv-litpool produced no in-line constant bytes")
+		}
+	})
+	t.Run("fakeprol", func(t *testing.T) {
+		tr := gen(ProfileAdvFakeProl)
+		if tr.Counts()[ClassFakeCode] == 0 {
+			t.Fatal("adv-fakeprol produced no fake-prologue bytes")
+		}
+		for i, c := range tr.Classes {
+			if c == ClassFakeCode && tr.InstStart[i] {
+				t.Fatalf("fake-prologue byte at +%#x marked as truth instruction", i)
+			}
+		}
+	})
+	t.Run("obf", func(t *testing.T) {
+		// Obfuscation idioms are control-flow shapes, not byte classes;
+		// assert the profile still generates and holds truth together, and
+		// that its overlap sprinkle fires.
+		tr := gen(ProfileAdvObf)
+		if tr.Counts()[ClassOverlap] == 0 {
+			t.Fatal("adv-obf planted no overlap heads in push-ret shadows")
+		}
+	})
+}
+
+// TestKnobStreamPreservation pins the contract documented on the Profile
+// struct: leaving every adversarial knob zero draws nothing extra from
+// the RNG, so pre-existing profiles generate byte-identical output
+// whether or not the knobs exist. Guarded by generating with an
+// explicitly zeroed knob set and comparing against the plain profile.
+func TestKnobStreamPreservation(t *testing.T) {
+	for _, p := range DefaultProfiles {
+		plain, err := Generate(Config{Seed: 41, Profile: p, NumFuncs: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p
+		q.OverlapFreq, q.MidJumpFreq, q.LiteralPoolFreq = 0, 0, 0
+		q.FakeProlFreq, q.ObfFreq = 0, 0
+		q.InlineTables = false
+		zeroed, err := Generate(Config{Seed: 41, Profile: q, NumFuncs: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(plain.Code) != string(zeroed.Code) {
+			t.Fatalf("%s: zero adversarial knobs changed the byte stream", p.Name)
+		}
+	}
+}
+
+// TestProfileByName resolves every profile and rejects unknown names.
+func TestProfileByName(t *testing.T) {
+	for _, p := range AllProfiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %v, %v", p.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("no-such-profile"); ok {
+		t.Fatal("ProfileByName accepted an unknown name")
+	}
+	names := map[string]bool{}
+	for _, p := range AllProfiles() {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		names[p.Name] = true
 	}
 }
 

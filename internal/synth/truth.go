@@ -19,17 +19,43 @@ const (
 	ClassPadding
 	ClassJunk // anti-disassembly junk bytes (never executed, misalign sweeps)
 
+	// ClassOverlap marks overlap-head bytes: never-executed opcode heads
+	// (mov r32/imm32, push imm32, call/jmp rel32, ...) placed directly
+	// before real code so their decode swallows the following genuine
+	// instruction — the superset graph then contains two valid
+	// instructions sharing suffix bytes, and branch targets land
+	// mid-instruction from a linear sweep's point of view.
+	ClassOverlap
+
+	// ClassFakeCode marks data bytes deliberately shaped like code:
+	// fake function prologues (endbr64; push rbp; mov rbp,rsp) embedded
+	// inside data islands to bait pattern-matching function-start
+	// detectors.
+	ClassFakeCode
+
 	// NumClasses is the number of byte classes.
 	NumClasses
 )
 
-var classNames = [NumClasses]string{"code", "jumptable", "string", "const", "padding", "junk"}
+var classNames = [NumClasses]string{
+	"code", "jumptable", "string", "const", "padding", "junk", "overlap", "fakecode",
+}
 
 func (c ByteClass) String() string {
 	if int(c) < len(classNames) {
 		return classNames[c]
 	}
 	return "class?"
+}
+
+// ClassByName maps a truth-format class name back to its ByteClass.
+func ClassByName(name string) (ByteClass, bool) {
+	for i, n := range classNames {
+		if n == name {
+			return ByteClass(i), true
+		}
+	}
+	return 0, false
 }
 
 // IsData reports whether the class is embedded data (everything except

@@ -1,0 +1,209 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Truth file format ("probedis-truth v1"): the single byte-exact truth
+// interchange format shared by cmd/synthgen (generated truth) and
+// cmd/truthgen (truth extracted from compiler artifacts), consumed by
+// internal/eval when scoring binaries in testdata/real/.
+//
+// The format is line-oriented text:
+//
+//	probedis-truth v1
+//	base 0x401000
+//	size 4096
+//	classes code:132 jumptable:40 code:64 ...
+//	funcs 0 140 512 ...
+//	insts 0 3 2 5 ...
+//
+// `classes` lines hold run-length pairs (name:length) that concatenate
+// across lines and must cover exactly `size` bytes. `funcs` lines hold
+// ascending absolute section offsets. `insts` lines are delta-encoded
+// instruction starts: the first value is absolute, every later value is
+// the gap to the previous start; lines concatenate. Delta encoding keeps
+// truth files for megabyte sections compact and diff-friendly.
+
+// truthMagic is the first line of every truth file.
+const truthMagic = "probedis-truth v1"
+
+// itemsPerLine bounds values per output line so truth files stay
+// readable and diffable.
+const itemsPerLine = 16
+
+// WriteTruth serialises t in the probedis-truth v1 format.
+func WriteTruth(w io.Writer, t *Truth, base uint64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\nbase %#x\nsize %d\n", truthMagic, base, len(t.Classes))
+
+	// Class runs.
+	items := 0
+	for i := 0; i < len(t.Classes); {
+		j := i
+		for j < len(t.Classes) && t.Classes[j] == t.Classes[i] {
+			j++
+		}
+		if items == 0 {
+			fmt.Fprintf(bw, "classes")
+		}
+		fmt.Fprintf(bw, " %s:%d", t.Classes[i], j-i)
+		if items++; items == itemsPerLine {
+			fmt.Fprintln(bw)
+			items = 0
+		}
+		i = j
+	}
+	if items > 0 {
+		fmt.Fprintln(bw)
+	}
+
+	// Function starts (absolute offsets).
+	for i := 0; i < len(t.FuncStarts); i += itemsPerLine {
+		fmt.Fprintf(bw, "funcs")
+		for j := i; j < i+itemsPerLine && j < len(t.FuncStarts); j++ {
+			fmt.Fprintf(bw, " %d", t.FuncStarts[j])
+		}
+		fmt.Fprintln(bw)
+	}
+
+	// Instruction starts (delta-encoded).
+	items, prev, first := 0, 0, true
+	for off, s := range t.InstStart {
+		if !s {
+			continue
+		}
+		if items == 0 {
+			fmt.Fprintf(bw, "insts")
+		}
+		if first {
+			fmt.Fprintf(bw, " %d", off)
+			first = false
+		} else {
+			fmt.Fprintf(bw, " %d", off-prev)
+		}
+		prev = off
+		if items++; items == itemsPerLine {
+			fmt.Fprintln(bw)
+			items = 0
+		}
+	}
+	if items > 0 {
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadTruth parses a probedis-truth v1 file, returning the truth and the
+// section base address it was recorded against.
+func ReadTruth(r io.Reader) (*Truth, uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != truthMagic {
+		return nil, 0, fmt.Errorf("truth: missing %q header", truthMagic)
+	}
+
+	var (
+		base     uint64
+		size     = -1
+		t        *Truth
+		classOff int
+		instPrev = -1
+		line     int
+	)
+	fail := func(format string, args ...any) (*Truth, uint64, error) {
+		return nil, 0, fmt.Errorf("truth: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		key, vals := fields[0], fields[1:]
+		if key != "base" && key != "size" && t == nil {
+			return fail("%q before base/size header", key)
+		}
+		switch key {
+		case "base":
+			v, err := strconv.ParseUint(strings.TrimPrefix(vals[0], "0x"), 16, 64)
+			if err != nil {
+				return fail("bad base %q", vals[0])
+			}
+			base = v
+		case "size":
+			v, err := strconv.Atoi(vals[0])
+			if err != nil || v < 0 {
+				return fail("bad size %q", vals[0])
+			}
+			size = v
+			t = newTruth(size)
+		case "classes":
+			for _, rv := range vals {
+				name, lenStr, ok := strings.Cut(rv, ":")
+				if !ok {
+					return fail("bad class run %q", rv)
+				}
+				c, ok := ClassByName(name)
+				if !ok {
+					return fail("unknown class %q", name)
+				}
+				n, err := strconv.Atoi(lenStr)
+				if err != nil || n <= 0 {
+					return fail("bad run length %q", rv)
+				}
+				if classOff+n > size {
+					return fail("class runs exceed size %d", size)
+				}
+				t.mark(classOff, classOff+n, c)
+				classOff += n
+			}
+		case "funcs":
+			for _, fv := range vals {
+				off, err := strconv.Atoi(fv)
+				if err != nil || off < 0 || off >= size {
+					return fail("bad function start %q", fv)
+				}
+				if n := len(t.FuncStarts); n > 0 && off <= t.FuncStarts[n-1] {
+					return fail("function starts not strictly ascending at %d", off)
+				}
+				t.FuncStarts = append(t.FuncStarts, off)
+			}
+		case "insts":
+			for _, iv := range vals {
+				d, err := strconv.Atoi(iv)
+				if err != nil || d < 0 {
+					return fail("bad instruction delta %q", iv)
+				}
+				off := d
+				if instPrev >= 0 {
+					if d == 0 {
+						return fail("zero instruction delta")
+					}
+					off = instPrev + d
+				}
+				if off >= size {
+					return fail("instruction start %d exceeds size %d", off, size)
+				}
+				t.InstStart[off] = true
+				instPrev = off
+			}
+		default:
+			return fail("unknown key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("truth: %w", err)
+	}
+	if size < 0 {
+		return nil, 0, fmt.Errorf("truth: no size header")
+	}
+	if classOff != size {
+		return nil, 0, fmt.Errorf("truth: class runs cover %d of %d bytes", classOff, size)
+	}
+	return t, base, nil
+}

@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTruthRoundTrip: WriteTruth → ReadTruth is exact for every profile.
+func TestTruthRoundTrip(t *testing.T) {
+	for _, p := range AllProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			b, err := Generate(Config{Seed: 77, Profile: p, NumFuncs: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf strings.Builder
+			if err := WriteTruth(&buf, b.Truth, b.Base); err != nil {
+				t.Fatal(err)
+			}
+			got, base, err := ReadTruth(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base != b.Base {
+				t.Fatalf("base %#x, want %#x", base, b.Base)
+			}
+			if len(got.Classes) != len(b.Truth.Classes) {
+				t.Fatalf("size %d, want %d", len(got.Classes), len(b.Truth.Classes))
+			}
+			for i := range got.Classes {
+				if got.Classes[i] != b.Truth.Classes[i] {
+					t.Fatalf("class at +%#x: %v, want %v", i, got.Classes[i], b.Truth.Classes[i])
+				}
+				if got.InstStart[i] != b.Truth.InstStart[i] {
+					t.Fatalf("inst start at +%#x: %v, want %v", i, got.InstStart[i], b.Truth.InstStart[i])
+				}
+			}
+			if len(got.FuncStarts) != len(b.Truth.FuncStarts) {
+				t.Fatalf("%d func starts, want %d", len(got.FuncStarts), len(b.Truth.FuncStarts))
+			}
+			for i := range got.FuncStarts {
+				if got.FuncStarts[i] != b.Truth.FuncStarts[i] {
+					t.Fatalf("func start %d: %d, want %d", i, got.FuncStarts[i], b.Truth.FuncStarts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReadTruthRejects: malformed inputs fail with a diagnostic rather
+// than silently producing partial truth.
+func TestReadTruthRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no-header", "base 0x1000\nsize 4\nclasses code:4\n"},
+		{"no-size", "probedis-truth v1\nbase 0x1000\n"},
+		{"short-classes", "probedis-truth v1\nbase 0x1000\nsize 8\nclasses code:4\n"},
+		{"long-classes", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:8\n"},
+		{"bad-class", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses nosuch:4\n"},
+		{"bad-run", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code\n"},
+		{"func-out-of-range", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:4\nfuncs 9\n"},
+		{"func-unsorted", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:4\nfuncs 2 1\n"},
+		{"inst-out-of-range", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:4\ninsts 0 9\n"},
+		{"zero-delta", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:4\ninsts 1 0\n"},
+		{"unknown-key", "probedis-truth v1\nbase 0x1000\nsize 4\nclasses code:4\nwat 1\n"},
+		{"body-before-size", "probedis-truth v1\nclasses code:4\n"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadTruth(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("malformed truth accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,30 @@
+static int acc;
+
+int add(int a, int b) { return a + b; }
+
+int mul3(int a) { return a * 3 + acc; }
+
+int clamp(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+int dispatch(int k, int x) {
+    switch (k) {
+    case 0: return add(x, 1);
+    case 1: return mul3(x);
+    case 2: return clamp(x, 0, 255);
+    case 3: return x << 2;
+    case 4: return x ^ 0x5a;
+    default: return -1;
+    }
+}
+
+void _start(void) {
+    int r = 0;
+    for (int i = 0; i < 5; i++)
+        r += dispatch(i, i * 7);
+    acc = r;
+    __asm__ volatile("mov $60, %%eax\n\txor %%edi, %%edi\n\tsyscall" ::: "eax", "edi");
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerates the real-binary evaluation corpus in this directory.
+# Requires binutils (as, ld, strip) and gcc; run from testdata/real/.
+#
+# The committed artifacts are:
+#   strtab.s     hand-written assembly source (in-tree)
+#   strtab.lst   GNU as listing (truth source for listing mode)
+#   strtab.elf   linked, stripped executable the pipeline is scored on
+#   strtab.truth byte-exact truth extracted from the listing
+#   cfun.c       C source (in-tree)
+#   cfun.dbg     unstripped gcc output (truth source for ELF/DWARF mode)
+#   cfun.elf     stripped copy the pipeline is scored on
+#   cfun.truth   byte-exact truth extracted from symtab + DWARF
+#
+# Truth extraction reads assembler listings / symbols / DWARF, which the
+# pipeline itself never sees: the scored inputs are the stripped .elf
+# files. See DESIGN.md, "Evaluation corpus".
+set -e
+
+as --64 -al=strtab.lst -o strtab.o strtab.s
+ld -n -Ttext=0x401000 --no-dynamic-linker -e _start -o strtab.elf strtab.o
+strip strtab.elf
+rm strtab.o
+go run ../../cmd/truthgen -listing strtab.lst -base 0x401000 \
+    -check strtab.elf -mode strict -o strtab.truth
+
+gcc -O1 -g -static -nostdlib -nostartfiles -fno-asynchronous-unwind-tables \
+    -fcf-protection=none -Wl,-Ttext-segment=0x400000 -o cfun.dbg cfun.c
+cp cfun.dbg cfun.elf
+strip cfun.elf
+go run ../../cmd/truthgen -elf cfun.dbg -mode strict -o cfun.truth

@@ -1,0 +1,90 @@
+# strtab.s — hand-written assembly fixture for the real-binary corpus:
+# the "complex binaries" case the paper targets, with every kind of
+# embedded data a legacy toolchain puts in .text: an inline jump table,
+# string islands, an 8-byte constant pool, and alignment fill between
+# functions. Built by testdata/real/regen.sh; ground truth is extracted
+# from the assembler listing by cmd/truthgen.
+	.text
+
+	.globl _start
+	.type _start, @function
+_start:
+	push %rbp
+	mov %rsp, %rbp
+	xor %edi, %edi
+1:
+	mov %edi, %eax
+	call dispatch
+	add $1, %edi
+	cmp $4, %edi
+	jb 1b
+	call checksum
+	pop %rbp
+	mov $60, %eax
+	xor %edi, %edi
+	syscall
+
+	.p2align 4
+	.type dispatch, @function
+dispatch:
+	# Bounds-checked jump-table dispatch with the table inline in .text,
+	# directly between the dispatch jump and its case blocks.
+	cmp $3, %edi
+	ja .Ldefault
+	mov %edi, %eax
+	lea jtab(%rip), %rdx
+	jmp *(%rdx,%rax,8)
+jtab:
+	.quad .Lcase0
+	.quad .Lcase1
+	.quad .Lcase2
+	.quad .Lcase3
+.Lcase0:
+	mov $11, %eax
+	ret
+.Lcase1:
+	mov $22, %eax
+	jmp .Ljoin
+.Lcase2:
+	lea msg0(%rip), %rsi
+	mov $33, %eax
+	jmp .Ljoin
+.Lcase3:
+	imul $3, %edi, %eax
+	jmp .Ljoin
+.Ldefault:
+	mov $-1, %eax
+.Ljoin:
+	ret
+
+msg0:
+	.asciz "unknown option"
+msg1:
+	.asciz "out of range"
+
+	.p2align 4
+	.type checksum, @function
+checksum:
+	# Rip-relative load from a constant pool that sits right after the
+	# function, literal-pool style.
+	push %rbx
+	lea msg1(%rip), %rbx
+	movzbl (%rbx), %eax
+	movsd kpool(%rip), %xmm0
+	addsd kpool+8(%rip), %xmm0
+	pop %rbx
+	ret
+
+	.p2align 3
+kpool:
+	.double 2.718281828459045
+	.double 3.141592653589793
+
+	.p2align 4
+	.type tailfn, @function
+	.globl tailfn
+tailfn:
+	# Tail call: ends in a direct jmp to another function's entry.
+	add $7, %edi
+	jmp dispatch
+	.size tailfn, .-tailfn
