@@ -569,6 +569,49 @@ func BenchmarkLargeSectionPipeline(b *testing.B) {
 	writeAllocReport(b, tr)
 }
 
+// shardedInfoBytes is the heap the windowed superset side table retains
+// per entry (superset.Info is a packed 16-byte record).
+const shardedInfoBytes = 16
+
+// BenchmarkLargeSectionSharded runs the sharded pipeline over the >= 8
+// MiB single section at 256 KiB shards, serial (workers=1) vs the full
+// worker pool. The resident_x metric is the windowed graph's retained
+// Info heap per section byte after the run — the O(shard) residency
+// claim made concrete: the eager side table costs a flat 16x
+// (BenchmarkLargeSectionSuperset's resident_x), the windowed one is
+// capped at workers*(shard/block+1)+4 blocks regardless of section
+// size, so resident_x must come out well under 16 and must not grow
+// with the section. Output stays byte-identical to the unsharded run
+// (core.TestShardedMatchesUnsharded, TestShardSeamBoundarySweep).
+func BenchmarkLargeSectionSharded(b *testing.B) {
+	e := benchSetup(b)
+	code, base := largeSection(b)
+	const shardBytes = 256 << 10
+	workerSets := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		workerSets = append(workerSets, max)
+	}
+	for _, w := range workerSets {
+		name := "workers=1"
+		if w != 1 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := core.New(e.model, core.WithWorkers(w), core.WithShardBytes(shardBytes))
+			b.SetBytes(int64(len(code)))
+			var resident float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det := d.DisassembleDetail(code, base, largeEntry)
+				blocks, blockBytes := det.Graph.ResidentBlocks()
+				resident = float64(blocks*blockBytes*shardedInfoBytes) / float64(len(code))
+			}
+			b.StopTimer()
+			b.ReportMetric(resident, "resident_x")
+		})
+	}
+}
+
 // BenchmarkE1Adversarial regenerates the anti-disassembly extension
 // experiment: the core engine over junk-laced binaries.
 func BenchmarkE1Adversarial(b *testing.B) {

@@ -5,7 +5,7 @@
 //
 //	disasmd [-addr :8421] [-workers 0] [-batch 0] [-queue 0]
 //	        [-max-bytes 67108864] [-deadline 0] [-cache-entries 128]
-//	        [-cache-bytes 67108864] [-model m.pdmd]
+//	        [-cache-bytes 67108864] [-model m.pdmd] [-shard-bytes 0]
 //
 // Endpoints:
 //
@@ -58,10 +58,12 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache capacity in body bytes")
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
 	tier := flag.Bool("tier", true, "tiered correction: score statistics only over contested windows (off = single-phase reference; output is identical)")
+	shardBytes := flag.Int("shard-bytes", 0, "split sections larger than this into shards analysed on the request's worker pool with O(shard) resident memory (0 = whole-section; output is identical)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-queue n]"+
-			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd] [-tier=false]")
+			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd]"+
+			" [-tier=false] [-shard-bytes n]")
 		os.Exit(2)
 	}
 
@@ -84,6 +86,9 @@ func main() {
 	copts := []core.Option{core.WithWorkers(*workers)}
 	if !*tier {
 		copts = append(copts, core.WithoutTiering())
+	}
+	if *shardBytes > 0 {
+		copts = append(copts, core.WithShardBytes(*shardBytes))
 	}
 	d := core.New(model, copts...)
 	s := serve.New(d, serve.Config{

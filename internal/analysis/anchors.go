@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"sort"
 
 	"probedis/internal/stats"
 	"probedis/internal/superset"
@@ -27,7 +28,7 @@ func CallTargetHints(g *superset.Graph, viable []bool) []Hint {
 	// run-to-run, and hint collection must be deterministic.
 	callers := make([]int32, g.Len())
 	for off := 0; off < g.Len(); off++ {
-		if !viable[off] || g.Info[off].Flow != x86.FlowCall {
+		if !viable[off] || g.At(off).Flow != x86.FlowCall {
 			continue
 		}
 		if t := g.TargetOff(off); t >= 0 && viable[t] {
@@ -39,14 +40,55 @@ func CallTargetHints(g *superset.Graph, viable []bool) []Hint {
 		if n == 0 {
 			continue
 		}
-		prio := PrioMedium
-		if n >= 2 {
-			prio = PrioStrong
+		hs = append(hs, callTargetHint(t, n))
+	}
+	return hs
+}
+
+func callTargetHint(t int, n int32) Hint {
+	prio := PrioMedium
+	if n >= 2 {
+		prio = PrioStrong
+	}
+	return Hint{
+		Kind: HintCode, Off: t, Prio: prio,
+		Score: float64(n), Src: "calltarget",
+	}
+}
+
+// CallTargetCountsRange accumulates, into counts, the per-target caller
+// counts contributed by direct-call sites in [from, to). Targets may lie
+// anywhere in the section: the caller-count property is global (two
+// callers in different shards still prove one entry), so the sharded
+// pipeline counts each shard's call sites separately and merges the maps
+// before emitting hints via CallTargetHintsFromCounts.
+func CallTargetCountsRange(g *superset.Graph, viable []bool, from, to int, counts map[int]int32) {
+	for off := from; off < to; off++ {
+		if !viable[off] || g.At(off).Flow != x86.FlowCall {
+			continue
 		}
-		hs = append(hs, Hint{
-			Kind: HintCode, Off: t, Prio: prio,
-			Score: float64(n), Src: "calltarget",
-		})
+		if t := g.TargetOff(off); t >= 0 && viable[t] {
+			counts[t]++
+		}
+	}
+}
+
+// CallTargetHintsFromCounts emits the exact hint sequence CallTargetHints
+// would produce from merged per-shard counts: targets in ascending offset
+// order (sorted here, because map iteration is unordered), priority from
+// the global caller total.
+func CallTargetHintsFromCounts(counts map[int]int32) []Hint {
+	if len(counts) == 0 {
+		return nil
+	}
+	targets := make([]int, 0, len(counts))
+	for t := range counts {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
+	hs := make([]Hint, 0, len(targets))
+	for _, t := range targets {
+		hs = append(hs, callTargetHint(t, counts[t]))
 	}
 	return hs
 }
@@ -67,9 +109,18 @@ var prologuePatterns = [][]byte{
 // PrologueHints matches prologue byte patterns at offsets that follow a
 // padding byte, a return/jump boundary, or 16-byte alignment.
 func PrologueHints(g *superset.Graph, viable []bool) []Hint {
-	var hs []Hint
+	return PrologueHintsRange(g, viable, 0, g.Len(), nil)
+}
+
+// PrologueHintsRange is PrologueHints restricted to match offsets in
+// [from, to), appending to dst. The pattern bytes and the one-byte
+// lookback read the section globally, so a shard sees exactly what the
+// full scan sees at every offset it owns; concatenating the shards'
+// output in shard order reproduces the full scan's sequence verbatim.
+func PrologueHintsRange(g *superset.Graph, viable []bool, from, to int, dst []Hint) []Hint {
+	hs := dst
 	code := g.Code
-	for off := 0; off < len(code); off++ {
+	for off := from; off < to; off++ {
 		if !viable[off] || !prologueFirstByte[code[off]] {
 			continue
 		}

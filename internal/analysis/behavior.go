@@ -20,7 +20,7 @@ func BehaviorPenalty(g *superset.Graph, off, window int) float64 {
 	var penalty float64
 	var stack int64
 	for n := 0; n < window && off < g.Len() && g.Valid(off); n++ {
-		e := &g.Info[off]
+		e := g.At(off)
 		if e.Rare() {
 			penalty += 3
 		}
@@ -68,6 +68,20 @@ func StatHints(g *superset.Graph, viable []bool, scores []float64, penaltyWeight
 // identical). The tiered pipeline calls it once per contested window,
 // appending to dst. from/to are clamped to the section.
 func StatHintsRange(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64, from, to int, dst []Hint) []Hint {
+	return statHintsImpl(g, viable, scores, 0, penaltyWeight, threshold, from, to, dst)
+}
+
+// StatHintsRangeRel is StatHintsRange with a window-relative score
+// buffer: scores[i] holds the score of offset from+i (and must cover
+// to-from entries). The sharded tiered pipeline stores scores per
+// contested window instead of in one section-length slice, so score
+// residency is O(contested bytes) rather than O(section); the emitted
+// hints are identical.
+func StatHintsRangeRel(g *superset.Graph, viable []bool, scores []float64, penaltyWeight, threshold float64, from, to int, dst []Hint) []Hint {
+	return statHintsImpl(g, viable, scores, from, penaltyWeight, threshold, from, to, dst)
+}
+
+func statHintsImpl(g *superset.Graph, viable []bool, scores []float64, scoreBase int, penaltyWeight, threshold float64, from, to int, dst []Hint) []Hint {
 	if from < 0 {
 		from = 0
 	}
@@ -79,7 +93,7 @@ func StatHintsRange(g *superset.Graph, viable []bool, scores []float64, penaltyW
 		if !g.Valid(off) {
 			continue
 		}
-		s := scores[off]
+		s := scores[off-scoreBase]
 		if s <= -1e8 {
 			continue
 		}

@@ -29,9 +29,20 @@ const maxTableEntries = 1024
 //
 // A validated table proves its bytes are data and its targets are code.
 func FindJumpTables(g *superset.Graph, viable []bool) []JumpTable {
-	var out []JumpTable
-	for off := 0; off < g.Len(); off++ {
-		e := &g.Info[off]
+	return FindJumpTablesRange(g, viable, 0, g.Len(), nil)
+}
+
+// FindJumpTablesRange is FindJumpTables restricted to dispatch sites
+// anchored in [from, to), appending to dst. Only the anchor is bounded:
+// the dispatch chain, the bounds-check lookback and the table scan all
+// read the graph globally, so a table whose parts straddle a shard seam
+// is recovered identically by whichever shard owns its anchor —
+// concatenating shard outputs in shard order reproduces FindJumpTables'
+// sequence verbatim.
+func FindJumpTablesRange(g *superset.Graph, viable []bool, from, to int, dst []JumpTable) []JumpTable {
+	out := dst
+	for off := from; off < to; off++ {
+		e := g.At(off)
 		if !viable[off] || !e.Valid() {
 			continue
 		}
@@ -76,7 +87,7 @@ func FindJumpTables(g *superset.Graph, viable []bool) []JumpTable {
 // matchLeaDispatch walks the chain after a lea to find the scaled load and
 // the indirect jump through the loaded register.
 func matchLeaDispatch(g *superset.Graph, viable []bool, leaOff, tbl int, baseReg uint32) (JumpTable, bool) {
-	off := leaOff + int(g.Info[leaOff].Len)
+	off := leaOff + int(g.At(leaOff).Len)
 	var loadedReg uint32
 	entrySz := 0
 	for step := 0; step < 8 && off < g.Len() && g.Valid(off); step++ {
@@ -120,7 +131,7 @@ func boundFrom(g *superset.Graph, site int) int {
 		lo = 0
 	}
 	for o := lo; o < site; o++ {
-		e := &g.Info[o]
+		e := g.At(o)
 		if !e.Valid() || e.Op != x86.CMP || !e.HasImm() {
 			continue
 		}
@@ -131,11 +142,11 @@ func boundFrom(g *superset.Graph, site int) int {
 		// Does the chain from o reach site?
 		p := o
 		for step := 0; step < 6 && p < site; step++ {
-			if !g.Valid(p) || !g.Info[p].Flow.HasFallthrough() {
+			if !g.Valid(p) || !g.At(p).Flow.HasFallthrough() {
 				p = -1
 				break
 			}
-			p += int(g.Info[p].Len)
+			p += int(g.At(p).Len)
 		}
 		if p == site {
 			return int(inst.Imm) + 1

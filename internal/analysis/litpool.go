@@ -72,7 +72,17 @@ func FloatRunHints(g *superset.Graph) []Hint {
 // lea whose register is then dereferenced by an SSE/x87 load, pins the
 // referenced bytes as data.
 func LiteralPoolHints(g *superset.Graph, viable []bool) []Hint {
-	var hs []Hint
+	return LiteralPoolHintsRange(g, viable, 0, g.Len(), nil)
+}
+
+// LiteralPoolHintsRange is LiteralPoolHints restricted to referencing
+// instructions anchored in [from, to), appending to dst. The pool
+// extension and the lea-deref chain read the section globally, so a pool
+// sitting across a shard seam is proven identically by the shard owning
+// its referencing load; shard outputs concatenated in shard order equal
+// the full scan's sequence.
+func LiteralPoolHintsRange(g *superset.Graph, viable []bool, from, to int, dst []Hint) []Hint {
+	hs := dst
 	add := func(off, n int) {
 		if off < 0 || off >= g.Len() {
 			return
@@ -94,8 +104,8 @@ func LiteralPoolHints(g *superset.Graph, viable []bool) []Hint {
 		hs = append(hs, Hint{Kind: HintData, Off: off, Len: n,
 			Prio: PrioStrong, Score: float64(n), Src: "litpool"})
 	}
-	for off := 0; off < g.Len(); off++ {
-		e := &g.Info[off]
+	for off := from; off < to; off++ {
+		e := g.At(off)
 		if !viable[off] || !e.Valid() {
 			continue
 		}

@@ -88,7 +88,7 @@ func BuildTraceContext(ctx context.Context, g *superset.Graph, instStart []bool,
 		if !instStart[off] {
 			continue
 		}
-		e := &g.Info[off]
+		e := g.At(off)
 		switch e.Flow {
 		case x86.FlowCall:
 			if t := g.TargetOff(off); t >= 0 && instStart[t] {
@@ -114,7 +114,7 @@ func BuildTraceContext(ctx context.Context, g *superset.Graph, instStart []bool,
 		if off != prevEnd {
 			mark(off)
 		}
-		prevEnd = off + int(g.Info[off].Len)
+		prevEnd = off + int(g.At(off).Len)
 	}
 	lsp.Count("leaders", int64(nleaders))
 	lsp.End()
@@ -142,7 +142,7 @@ func BuildTraceContext(ctx context.Context, g *superset.Graph, instStart []bool,
 		b := &arena[len(arena)-1]
 		pos := off
 		for {
-			e := &g.Info[pos]
+			e := g.At(pos)
 			next := pos + int(e.Len)
 			b.End = next
 			b.Terminator = e.Flow

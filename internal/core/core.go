@@ -71,6 +71,30 @@ func WithWindow(w int) Option { return func(d *Disassembler) { d.window = w } }
 // wall-clock time.
 func WithWorkers(n int) Option { return func(d *Disassembler) { d.workers = n } }
 
+// WithShardBytes splits sections larger than n bytes into ~n-byte shards
+// for the analysis stages: the superset side table becomes a windowed
+// on-demand structure (resident working set O(shard x workers) instead
+// of ~16x the section), viability and the anchored hint analyses run per
+// shard on the worker pool — stealing slots across shards and sections
+// within one request — and the per-shard outputs merge deterministically
+// into the exact stream the unsharded run produces, so the final
+// classification is byte-identical for every shard size (enforced by
+// oracle.CheckShards and the seam boundary-sweep suite). n <= 0 (the
+// default) disables sharding; positive values are clamped to a 256-byte
+// floor. Production guidance: a few MiB; tests sweep tiny values to park
+// seams on adversarial constructs.
+func WithShardBytes(n int) Option {
+	return func(d *Disassembler) {
+		if n > 0 && n < minShardBytes {
+			n = minShardBytes
+		}
+		d.shardBytes = n
+	}
+}
+
+// ShardBytes returns the configured shard size (0 = sharding disabled).
+func (d *Disassembler) ShardBytes() int { return d.shardBytes }
+
 // Disassembler is a configured metadata-free disassembly pipeline. It is
 // safe for concurrent use: all per-run state lives on the stack of
 // Disassemble.
@@ -86,6 +110,7 @@ type Disassembler struct {
 	threshold     float64
 	window        int
 	workers       int
+	shardBytes    int
 }
 
 // Workers returns the effective worker-pool size (see WithWorkers).
@@ -149,8 +174,8 @@ func (d *Disassembler) Name() string { return "probedis" }
 // Disassemble classifies one text section. entry is the section-relative
 // entry-point offset, or -1 when unknown.
 func (d *Disassembler) Disassemble(code []byte, base uint64, entry int) *dis.Result {
-	g := superset.Build(code, base)
-	return d.run(g, entry, nil).Result
+	det, _ := d.DisassembleSectionTraceContext(nil, code, base, entry, nil, nil)
+	return det.Result
 }
 
 // Detail bundles the full pipeline output for callers that need more than
@@ -173,7 +198,8 @@ type Detail struct {
 
 // DisassembleDetail is Disassemble plus all intermediate products.
 func (d *Disassembler) DisassembleDetail(code []byte, base uint64, entry int) *Detail {
-	return d.run(superset.Build(code, base), entry, nil)
+	det, _ := d.DisassembleSectionTraceContext(nil, code, base, entry, nil, nil)
+	return det
 }
 
 // run executes the pipeline stages on a built superset graph. sp is the
@@ -192,6 +218,17 @@ func (d *Disassembler) run(g *superset.Graph, entry int, sp *obs.Span) *Detail {
 // discarded, never surfaced. A nil ctx (what run passes) keeps the exact
 // uncancellable behaviour, including byte-identical output.
 func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry int, sp *obs.Span) (*Detail, error) {
+	return d.runContextPool(ctx, g, entry, sp, nil)
+}
+
+// runContextPool is runContext with an optional request-scoped work pool
+// (see workPool): the ELF driver passes one shared across its sections so
+// shard tasks steal idle section workers. It dispatches to the sharded
+// scheduler when the section exceeds the configured shard size.
+func (d *Disassembler) runContextPool(ctx context.Context, g *superset.Graph, entry int, sp *obs.Span, pool *workPool) (*Detail, error) {
+	if d.shardedFor(g.Len()) {
+		return d.runSharded(ctx, g, entry, sp, pool)
+	}
 	vsp := sp.StartChild("viability")
 	viable := analysis.Viability(g)
 	vsp.End()
@@ -278,7 +315,14 @@ func (d *Disassembler) runContext(ctx context.Context, g *superset.Graph, entry 
 	if err != nil {
 		return nil, err
 	}
+	return d.finish(ctx, g, entry, viable, tables, hints, statHints, out, part, sp)
+}
 
+// finish is the shared pipeline tail — result emission, function-seed
+// extraction and CFG recovery — identical for the unsharded and sharded
+// paths (both feed it the same correction outcome and hint stream, which
+// is what makes the sharded output byte-identical end to end).
+func (d *Disassembler) finish(ctx context.Context, g *superset.Graph, entry int, viable []bool, tables []analysis.JumpTable, hints []analysis.Hint, statHints int, out *correct.Outcome, part *tier.Partition, sp *obs.Span) (*Detail, error) {
 	esp := sp.StartChild("emit")
 	res := dis.NewResult(g.Base, g.Len())
 	for i, s := range out.State {

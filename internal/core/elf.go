@@ -60,22 +60,38 @@ func (d *Disassembler) DisassembleSectionTrace(code []byte, base uint64, entry i
 // is the primitive under every section-level entry point. A nil ctx
 // never cancels; a nil sp traces nothing.
 func (d *Disassembler) DisassembleSectionTraceContext(ctx context.Context, code []byte, base uint64, entry int, extern []superset.Range, sp *obs.Span) (*Detail, error) {
+	return d.disassembleSectionPool(ctx, code, base, entry, extern, sp, nil)
+}
+
+// disassembleSectionPool is DisassembleSectionTraceContext with an
+// optional request-scoped work pool shared across sections (see
+// workPool). Sections on the sharded path get a windowed graph
+// (superset.BuildLazy, O(1) construction — decode cost is paid block by
+// block inside the stages that fault them in, so no "superset" span is
+// recorded); everything else keeps the eager parallel build.
+func (d *Disassembler) disassembleSectionPool(ctx context.Context, code []byte, base uint64, entry int, extern []superset.Range, sp *obs.Span, pool *workPool) (*Detail, error) {
 	sp.SetBytes(int64(len(code)))
-	bsp := sp.StartChild("superset")
-	g, err := superset.BuildContext(ctx, code, base)
-	if err != nil {
+	var g *superset.Graph
+	if d.shardedFor(len(code)) {
+		g = superset.BuildLazy(code, base, d.lazyBlockShift(), d.maxResidentBlocks())
+	} else {
+		bsp := sp.StartChild("superset")
+		var err error
+		g, err = superset.BuildContext(ctx, code, base)
+		if err != nil {
+			if bsp != nil {
+				bsp.End()
+			}
+			return nil, err
+		}
 		if bsp != nil {
+			bsp.SetBytes(int64(len(code)))
+			bsp.Count("valid_insts", int64(g.ValidCount()))
 			bsp.End()
 		}
-		return nil, err
-	}
-	if bsp != nil {
-		bsp.SetBytes(int64(len(code)))
-		bsp.Count("valid_insts", int64(g.ValidCount()))
-		bsp.End()
 	}
 	g.SetExtern(extern)
-	return d.runContext(ctx, g, entry, sp)
+	return d.runContextPool(ctx, g, entry, sp, pool)
 }
 
 // DisassembleELFDetail is DisassembleELF returning the full pipeline
@@ -152,6 +168,10 @@ func (d *Disassembler) DisassembleELFTraceContext(ctx context.Context, img []byt
 		}
 	}
 
+	// One work-stealing pool per request: shard tasks from any section
+	// can claim a slot freed by another section finishing, so a giant
+	// section no longer serializes on a single section worker.
+	pool := newWorkPool(d.Workers())
 	out := make([]SectionDetail, len(secs))
 	runSection := func(i int) error {
 		if ctxutil.Cancelled(ctx) {
@@ -160,7 +180,7 @@ func (d *Disassembler) DisassembleELFTraceContext(ctx context.Context, img []byt
 		s := &secs[i]
 		ssp := sp.StartChild("section")
 		ssp.SetLabel(s.Name)
-		det, err := d.DisassembleSectionTraceContext(ctx, s.Data, s.Addr, entries[i], externs[i], ssp)
+		det, err := d.disassembleSectionPool(ctx, s.Data, s.Addr, entries[i], externs[i], ssp, pool)
 		ssp.End()
 		if err != nil {
 			return err

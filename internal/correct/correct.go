@@ -42,6 +42,13 @@ type Options struct {
 	// leftover unknown gaps (nil disables score-guided gap fill and
 	// treats unresolvable gaps as data).
 	Scores []float64
+	// ScoreAt is a sparse alternative to Scores, consulted only when
+	// Scores is nil: the sharded tiered pipeline stores scores per
+	// contested window (O(contested) instead of O(section) resident) and
+	// serves point lookups through this callback. Gap fill reads scores
+	// only at gap starts, and every gap is a subset of a contested
+	// window, so the two forms see identical values there.
+	ScoreAt func(off int) float64
 	// NoGapFill leaves Unknown bytes unresolved (ablation).
 	NoGapFill bool
 	// NoRetract skips the contradiction-retraction fixpoint, leaving the
@@ -239,7 +246,7 @@ func (c *corrector) finish(ctx context.Context, opts Options) (*Outcome, error) 
 	}
 	if !opts.NoGapFill {
 		gsp := opts.Trace.StartChild("gapfill")
-		err := c.fillGaps(ctx, opts.Scores)
+		err := c.fillGaps(ctx, opts.Scores, opts.ScoreAt)
 		gsp.End()
 		if err != nil {
 			return nil, err
@@ -270,18 +277,29 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // of instructions retracted. The scan polls ctx once per
 // ctxutil.CheckInterval offsets (outside the per-offset loop, so the
 // nil-ctx path is unchanged) and aborts with ctx.Err() when cancelled.
+//
+// Scans run in descending offset order. Retraction is monotone — turning
+// an instruction's bytes to data can only make other instructions bad,
+// never good — so the fixpoint is unique and any scan order reaches it;
+// the order only decides how many passes that takes. A contradiction
+// propagates to predecessors, and the dominant predecessor edge is the
+// fall-through, which always points forward: scanning backward retracts a
+// whole fall-through cascade in the pass that finds its root, where an
+// ascending scan would peel one instruction per pass (observed as tens of
+// full-section passes on multi-MiB sections). Only backward-branch edges
+// still need an extra pass.
 func (c *corrector) retract(ctx context.Context) (int, error) {
 	total := 0
 	n := c.g.Len()
 	for {
 		changed := 0
-		for chunk := 0; chunk < n; chunk += ctxutil.CheckInterval {
+		for end := n; end > 0; end -= ctxutil.CheckInterval {
 			if ctxutil.Cancelled(ctx) {
 				return 0, ctxutil.Err(ctx)
 			}
-			end := chunk + ctxutil.CheckInterval
-			if end > n {
-				end = n
+			chunk := end - ctxutil.CheckInterval
+			if chunk < 0 {
+				chunk = 0
 			}
 			changed += c.retractScan(chunk, end)
 		}
@@ -292,11 +310,11 @@ func (c *corrector) retract(ctx context.Context) (int, error) {
 	}
 }
 
-// retractScan runs one contradiction scan over [from, to), returning the
-// number of instructions retracted.
+// retractScan runs one contradiction scan over [from, to) in descending
+// offset order, returning the number of instructions retracted.
 func (c *corrector) retractScan(from, to int) int {
 	changed := 0
-	for off := from; off < to; off++ {
+	for off := to - 1; off >= from; off-- {
 		if !c.out.InstStart[off] {
 			continue
 		}
@@ -633,7 +651,7 @@ func (c *corrector) commitData(off, n int) bool {
 // tiled consistently becomes data. The scan polls ctx once per
 // ctxutil.CheckInterval offsets of progress and aborts with ctx.Err()
 // when cancelled; a nil ctx never polls.
-func (c *corrector) fillGaps(ctx context.Context, scores []float64) error {
+func (c *corrector) fillGaps(ctx context.Context, scores []float64, scoreAt func(int) float64) error {
 	n := c.g.Len()
 	nextCheck := ctxutil.CheckInterval
 	for a := 0; a < n; {
@@ -651,14 +669,20 @@ func (c *corrector) fillGaps(ctx context.Context, scores []float64) error {
 		for b < n && c.out.State[b] == Unknown {
 			b++
 		}
-		c.fillGap(a, b, scores)
+		c.fillGap(a, b, scores, scoreAt)
 		a = b
 	}
 	return nil
 }
 
-func (c *corrector) fillGap(a, b int, scores []float64) {
-	codeLike := scores == nil || (a < len(scores) && scores[a] > 0)
+func (c *corrector) fillGap(a, b int, scores []float64, scoreAt func(int) float64) {
+	codeLike := true
+	switch {
+	case scores != nil:
+		codeLike = a < len(scores) && scores[a] > 0
+	case scoreAt != nil:
+		codeLike = scoreAt(a) > 0
+	}
 	// A gap that tiles exactly with NOP-family instructions is alignment
 	// padding: emit it as code regardless of its statistical score (NOP
 	// padding is valid, never-executed code).
@@ -751,7 +775,7 @@ func (c *corrector) nopTiles(a, b int) bool {
 	}
 	pos := a
 	for pos < b {
-		e := &c.g.Info[pos]
+		e := c.g.At(pos)
 		if !e.Valid() || !e.IsNop() {
 			return false
 		}

@@ -500,7 +500,11 @@ func (r *Runner) All() ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, f1, f2, f3, r.F4Threshold(), e1, e2, e3)
+	t10, err := r.T10ShardScaling()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t10, f1, f2, f3, r.F4Threshold(), e1, e2, e3)
 	return out, nil
 }
 

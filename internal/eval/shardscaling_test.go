@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"probedis/internal/dis"
+)
+
+func TestT10ShardScaling(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.T10ShardScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "T10" {
+		t.Fatalf("table ID = %q", tab.ID)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (whole-section + 3 shard sizes)", len(tab.Rows))
+	}
+	idx := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	ident, res, points := idx("identical"), idx("resident_x"), idx("point-reads")
+	for _, row := range tab.Rows[1:] {
+		if row[ident] != "yes" {
+			t.Errorf("shard %s: identical = %q, want yes", row[0], row[ident])
+		}
+	}
+	// Residency must shrink as shards do: the smallest shard size's
+	// resident_x is the table's point, well under the eager 16x.
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.HasPrefix(last[0], "64K") {
+		t.Fatalf("last row = %s, want the 64K shard", last[0])
+	}
+	if v := last[res]; !(strings.HasPrefix(v, "2.") || strings.HasPrefix(v, "3.") || strings.HasPrefix(v, "4.")) {
+		t.Errorf("64K resident_x = %s, want ~3x (well under 16)", v)
+	}
+	if last[points] == "0" {
+		t.Error("64K shards: expected point reads in the post-scan phases")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	a := dis.NewResult(0x1000, 4)
+	b := dis.NewResult(0x1000, 4)
+	a.IsCode[1], b.IsCode[1] = true, true
+	a.FuncStarts, b.FuncStarts = []int{1}, []int{1}
+	if got := identical(a, b); got != "yes" {
+		t.Fatalf("equal results: identical = %q", got)
+	}
+	b.InstStart[2] = true
+	if got := identical(a, b); got != "NO" {
+		t.Fatalf("differing InstStart: identical = %q", got)
+	}
+	b.InstStart[2] = false
+	b.FuncStarts = []int{2}
+	if got := identical(a, b); got != "NO" {
+		t.Fatalf("differing FuncStarts: identical = %q", got)
+	}
+	c := dis.NewResult(0x1000, 3)
+	if got := identical(a, c); got != "NO" {
+		t.Fatalf("differing length: identical = %q", got)
+	}
+}

@@ -178,12 +178,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // contract — see Span.Name), so label cardinality stays bounded no
 // matter what binaries a long-running server sees. The root span is
 // folded like any other stage.
+// Span counters (Span.Count) fold into
+// <prefix>_stage_counters_total{stage=Name,counter=...}: under the
+// sharded pipeline this streams per-shard progress — shard counts,
+// settled/contested bytes, per-stage hint counts — into the scrape
+// without any per-shard label cardinality.
 func (r *Registry) FoldSpans(prefix string, root *Span) {
 	root.Walk(func(sp *Span, depth int) {
 		r.Counter(prefix+"_stage_nanos_total", "stage", sp.Name).Add(int64(sp.Dur))
 		r.Counter(prefix+"_stage_calls_total", "stage", sp.Name).Add(1)
 		if sp.Bytes > 0 {
 			r.Counter(prefix+"_stage_bytes_total", "stage", sp.Name).Add(sp.Bytes)
+		}
+		for _, c := range sp.Counters() {
+			r.Counter(prefix+"_stage_counters_total", "stage", sp.Name, "counter", c.Name).Add(c.Value)
 		}
 	})
 }

@@ -119,6 +119,8 @@ func New(d *core.Disassembler, cfg Config) *Server {
 	s.reg.SetHelp("probedis_stage_nanos_total", "cumulative pipeline stage wall time")
 	s.reg.SetHelp("probedis_stage_calls_total", "pipeline stage executions")
 	s.reg.SetHelp("probedis_stage_bytes_total", "bytes processed per pipeline stage")
+	s.reg.SetHelp("probedis_stage_counters_total",
+		"pipeline stage progress counters (shards scheduled, settled/contested bytes, hints)")
 	s.reg.SetHelp("probedis_inflight_requests", "disassembly requests currently executing")
 	s.reg.SetHelp("probedis_queue_waiting", "requests waiting for an admission slot")
 	s.reg.SetHelp("probedis_cache_hits_total", "requests answered from the result cache (flight joins included)")

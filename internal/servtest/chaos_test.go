@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"probedis/internal/core"
+	"probedis/internal/ctxutil"
 	"probedis/internal/obs"
 	"probedis/internal/serve"
 	"probedis/internal/synth"
@@ -369,5 +370,163 @@ func TestSlowAndAbortiveClientsDontLeak(t *testing.T) {
 	if m["probedis_inflight_requests"] != 0 || m["probedis_queue_waiting"] != 0 {
 		t.Errorf("gauges not drained: inflight=%v queued=%v",
 			m["probedis_inflight_requests"], m["probedis_queue_waiting"])
+	}
+}
+
+// TestGiantSectionShardCancelDoesNotLeak is the sharded-pipeline chaos
+// scenario: a single ~100 KiB text section is served by a sharded
+// multi-worker disassembler, and a countdown context cancels each
+// request mid-shard — at different depths into the shard schedule, from
+// the first viability poll to deep inside the per-shard hint fan-out.
+// Cancelling between the scheduler's phases must (a) never leak a shard
+// worker goroutine, (b) release every shard slot (the follow-up clean
+// request reuses the same server and must complete), and (c) drain the
+// admission gauges.
+//
+// The countdown wraps the request context inside the pipeline override,
+// so the request context itself stays alive: the server classifies the
+// abort as a pipeline error (400), which the client observes as a
+// well-formed error envelope rather than a hung response.
+func TestGiantSectionShardCancelDoesNotLeak(t *testing.T) {
+	bin, err := synth.Generate(synth.Config{Seed: 9, Profile: synth.ProfileComplex, NumFuncs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bin.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := core.New(nil, core.WithWorkers(4), core.WithShardBytes(4096))
+
+	// Measure the run's cancellation poll count once, then spread the
+	// cancellation depths across the full schedule — first poll, early
+	// shard fan-out, mid-run, and just before the merge/finish.
+	probe := &countingDone{Context: context.Background()}
+	if _, err := inner.DisassembleELFDetailContext(probe, img); err != nil {
+		t.Fatal(err)
+	}
+	polls := int(probe.polls.Load())
+	if polls < 16 {
+		t.Fatalf("sharded run made only %d polls", polls)
+	}
+	var depth atomic.Int64
+	depths := []int{1, 2, polls / 8, polls / 4, polls / 2, polls - polls/8}
+	h, err := Start(serve.New(inner, serve.Config{
+		Slots: 2, Queue: 8, MaxBytes: 1 << 20,
+		Pipeline: func(ctx context.Context, body []byte, tr *obs.Span) ([]core.SectionDetail, error) {
+			n := depth.Add(1)
+			if int(n) <= len(depths) {
+				ctx = ctxutil.CancelAfterChecks(ctx, depths[n-1])
+			}
+			return inner.DisassembleELFTraceContext(ctx, body, tr)
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	baseline := Goroutines()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	for i := 0; i < len(depths); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := h.Post(img, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			statuses[res.Status]++
+			mu.Unlock()
+			if res.Status != 400 || !WellFormedError(res.Body) {
+				t.Errorf("cancelled shard request: status %d body %.80q", res.Status, res.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	if statuses[400] != len(depths) {
+		t.Fatalf("status distribution %v, want %d cancelled requests", statuses, len(depths))
+	}
+
+	// Slots released: the same server must now complete the same image.
+	res, err := h.Post(img, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || !WellFormedOK(res.Body) {
+		t.Fatalf("clean follow-up: status %d body %.80q", res.Status, res.Body)
+	}
+
+	if err := WaitGoroutines(baseline, 8, 15*time.Second); err != nil {
+		t.Errorf("shard cancellation leaked: %v", err)
+	}
+	m, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["probedis_inflight_requests"] != 0 || m["probedis_queue_waiting"] != 0 {
+		t.Errorf("gauges not drained: inflight=%v queued=%v",
+			m["probedis_inflight_requests"], m["probedis_queue_waiting"])
+	}
+}
+
+// countingDone counts cancellation polls without ever cancelling.
+type countingDone struct {
+	context.Context
+	polls atomic.Int64
+}
+
+func (p *countingDone) Done() <-chan struct{} {
+	p.polls.Add(1)
+	return nil
+}
+
+// TestShardProgressCountersInScrape: a sharded server must stream shard
+// scheduling progress into /metrics — the section span's "shards"
+// counter and one per-shard stage execution per shard — with bounded
+// label cardinality (stage and counter names only, never shard indices).
+func TestShardProgressCountersInScrape(t *testing.T) {
+	bin, err := synth.Generate(synth.Config{Seed: 10, Profile: synth.ProfileComplex, NumFuncs: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bin.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShards := float64(len(core.ShardPlan(len(bin.Code), 4096)))
+	if wantShards < 2 {
+		t.Fatalf("section too small to shard: %d bytes", len(bin.Code))
+	}
+
+	h, err := Start(serve.New(core.New(nil, core.WithWorkers(2), core.WithShardBytes(4096)),
+		serve.Config{Slots: 2, MaxBytes: 1 << 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	res, err := h.Post(img, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("status %d body %.120q", res.Status, res.Body)
+	}
+	m, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[`probedis_stage_counters_total{stage="section",counter="shards"}`]; got != wantShards {
+		t.Errorf("shards counter = %v, want %v", got, wantShards)
+	}
+	// Work-stealing fans every shard's prologue scan out as its own span,
+	// so stage executions count shard progress one for one.
+	if got := m[`probedis_stage_calls_total{stage="prologue"}`]; got < wantShards {
+		t.Errorf("prologue stage ran %v times, want >= %v (one per shard)", got, wantShards)
 	}
 }

@@ -116,7 +116,7 @@ func (m *Model) AddCode(g *superset.Graph, instStart []bool) {
 		if !instStart[off] || !g.Valid(off) {
 			continue
 		}
-		tok := int(g.Info[off].Tok)
+		tok := int(g.At(off).Tok)
 		if prev >= 0 {
 			m.code.addPair(prev, tok)
 		} else {
@@ -131,14 +131,14 @@ func (m *Model) AddCode(g *superset.Graph, instStart []bool) {
 // token-at-fallthrough).
 func (m *Model) AddData(g *superset.Graph, isData []bool) {
 	for off := 0; off < g.Len(); off++ {
-		e := &g.Info[off]
+		e := g.At(off)
 		if !isData[off] || !e.Valid() {
 			continue
 		}
 		tok := int(e.Tok)
 		next := off + int(e.Len)
 		if next < g.Len() && g.Valid(next) {
-			m.data.addPair(tok, int(g.Info[next].Tok))
+			m.data.addPair(tok, int(g.At(next).Tok))
 		} else {
 			m.data.addOne(tok)
 		}
@@ -180,7 +180,7 @@ func (m *Model) LogOdds(g *superset.Graph, off, window int) (score float64, step
 		if off >= g.Len() {
 			break
 		}
-		e := &g.Info[off]
+		e := g.At(off)
 		if !e.Valid() {
 			break
 		}
@@ -267,6 +267,29 @@ func (m *Model) ScoreRangesInto(out []float64, g *superset.Graph, window int, wi
 			}
 			out[off] = s / float64(n)
 		}
+	}
+}
+
+// ScoreWindowInto computes the per-offset values of [from, to) into a
+// window-relative buffer: out[i] receives the score of offset from+i.
+// Values are bit-identical to the corresponding slice of a full scoring
+// pass (LogOdds reads only the graph). The sharded tiered pipeline uses
+// it to keep one small buffer per contested window instead of a
+// section-length slice. len(out) must be at least to-from.
+func (m *Model) ScoreWindowInto(out []float64, g *superset.Graph, window, from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to > g.Len() {
+		to = g.Len()
+	}
+	for off := from; off < to; off++ {
+		s, n := m.LogOdds(g, off, window)
+		if n == 0 {
+			out[off-from] = -1e9
+			continue
+		}
+		out[off-from] = s / float64(n)
 	}
 }
 

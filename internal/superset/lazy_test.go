@@ -1,0 +1,132 @@
+package superset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+// lazyTestCode returns a realistic multi-function section for the lazy
+// backend tests: synth output mixes code, padding, jump tables and
+// literal pools, so block edges land inside every construct class.
+func lazyTestCode(t testing.TB) ([]byte, uint64) {
+	t.Helper()
+	bin, err := synth.Generate(synth.Config{Seed: 81, Profile: synth.ProfileAdversarial, NumFuncs: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin.Code, bin.Base
+}
+
+// TestLazyGraphMatchesBuild proves the windowed backend is observationally
+// identical to an eager Build at every offset — including offsets whose
+// instruction spans a block edge — with a resident cap small enough to
+// force eviction and refaulting mid-scan.
+func TestLazyGraphMatchesBuild(t *testing.T) {
+	code, base := lazyTestCode(t)
+	eager := Build(code, base)
+	lz := BuildLazy(code, base, 12, 2) // 4 KiB blocks, at most ~2 resident
+
+	ext := []Range{{Start: base + uint64(len(code)), End: base + uint64(len(code)) + 4096}}
+	eager.SetExtern(ext)
+	lz.SetExtern(ext)
+
+	var es, ls []int
+	for off := 0; off < len(code); off++ {
+		if *eager.At(off) != *lz.At(off) {
+			t.Fatalf("offset %d: eager %+v != lazy %+v", off, *eager.At(off), *lz.At(off))
+		}
+		if eager.Valid(off) != lz.Valid(off) || eager.TargetOff(off) != lz.TargetOff(off) {
+			t.Fatalf("offset %d: Valid/TargetOff diverge", off)
+		}
+		ea, eok := eager.MemAddrAt(off)
+		la, lok := lz.MemAddrAt(off)
+		if ea != la || eok != lok {
+			t.Fatalf("offset %d: MemAddrAt diverges", off)
+		}
+		es = eager.ForcedSuccs(es[:0], off)
+		ls = lz.ForcedSuccs(ls[:0], off)
+		if len(es) != len(ls) {
+			t.Fatalf("offset %d: ForcedSuccs diverge: %v vs %v", off, es, ls)
+		}
+		for i := range es {
+			if es[i] != ls[i] {
+				t.Fatalf("offset %d: ForcedSuccs diverge: %v vs %v", off, es, ls)
+			}
+		}
+	}
+	if faults, evictions := lz.LazyStats(); evictions == 0 || faults <= int64(len(code)>>12) {
+		t.Fatalf("cap 2 over %d blocks must evict and refault (faults=%d evictions=%d)",
+			(len(code)+4095)>>12, faults, evictions)
+	}
+	if resident, _ := lz.ResidentBlocks(); resident > 3 {
+		t.Fatalf("resident blocks %d exceeds cap 2 (+1 transient slack)", resident)
+	}
+	if eager.ValidCount() != lz.ValidCount() {
+		t.Fatalf("ValidCount diverges: %d vs %d", eager.ValidCount(), lz.ValidCount())
+	}
+	if e, l := eager.InstAt(0), lz.InstAt(0); e != l {
+		t.Fatalf("InstAt diverges at 0: %+v vs %+v", e, l)
+	}
+}
+
+// TestLazyGraphConcurrent hammers one lazy graph from many goroutines
+// under a tiny resident cap, so faults, publications and evictions race
+// constantly; the race detector proves the slot protocol, and every read
+// must still match the eager decode.
+func TestLazyGraphConcurrent(t *testing.T) {
+	code, base := lazyTestCode(t)
+	eager := Build(code, base)
+	lz := BuildLazy(code, base, 12, 2)
+
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 600; i++ {
+				off := rng.Intn(len(code))
+				if *lz.At(off) != *eager.At(off) {
+					select {
+					case errc <- "lazy read diverged under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestLazyBlockEdgeInstruction pins the subtle case: an instruction whose
+// bytes straddle a block boundary must decode from the full section tail,
+// not be truncated at its block.
+func TestLazyBlockEdgeInstruction(t *testing.T) {
+	// A section of NOPs with a 5-byte call placed so it crosses the 4 KiB
+	// block edge at offset 4096.
+	code := make([]byte, 8192)
+	for i := range code {
+		code[i] = 0x90
+	}
+	site := 4094 // call occupies [4094, 4099): spans the edge
+	code[site] = 0xe8
+	code[site+1], code[site+2], code[site+3], code[site+4] = 0x10, 0x00, 0x00, 0x00
+	lz := BuildLazy(code, 0x1000, 12, 0)
+	e := lz.At(site)
+	if !e.Valid() || e.Len != 5 {
+		t.Fatalf("edge-spanning call: valid=%v len=%d, want valid 5-byte decode", e.Valid(), e.Len)
+	}
+	if got, want := lz.TargetOff(site), site+5+0x10; got != want {
+		t.Fatalf("edge-spanning call target %d, want %d", got, want)
+	}
+}

@@ -165,7 +165,13 @@ type Graph struct {
 
 	// Info[i] is the packed decode record at offset i; check
 	// Info[i].Valid() (or Graph.Valid(i)) before using the other fields.
+	// Nil on lazily built graphs (BuildLazy) — all pipeline reads go
+	// through At, which serves both backends.
 	Info []Info
+
+	// lazy is the windowed on-demand backend (see BuildLazy); nil for
+	// eagerly built graphs, whose At reduces to an Info index.
+	lazy *lazyInfo
 
 	// extern lists other executable ranges of the binary: direct branches
 	// landing there are legitimate (cross-section tail calls, PLT stubs)
@@ -303,9 +309,22 @@ func decodeRange(ctx context.Context, g *Graph, stop *atomic.Bool, from, to int)
 // Len returns the section size.
 func (g *Graph) Len() int { return len(g.Code) }
 
+// At returns the packed decode record at offset off. On eagerly built
+// graphs it is a plain index into the Info side table; on lazy graphs
+// (BuildLazy) it faults the enclosing block in on demand. The returned
+// pointer stays valid for the caller's lifetime either way — lazy-block
+// eviction only unlinks a block, it never mutates one. Callers must not
+// write through it.
+func (g *Graph) At(off int) *Info {
+	if g.lazy == nil {
+		return &g.Info[off]
+	}
+	return g.lazy.at(g, off)
+}
+
 // Valid reports whether offset off decodes to a valid instruction that
 // fits within the section.
-func (g *Graph) Valid(off int) bool { return g.Info[off].Flags&FlagValid != 0 }
+func (g *Graph) Valid(off int) bool { return g.At(off).Flags&FlagValid != 0 }
 
 // instCacheSize is the decode cache's entry count (direct-mapped by
 // offset). 128 entries cover the working set of the dispatch-idiom and
@@ -352,7 +371,7 @@ func ResetDecodeCacheStats() {
 // rewrite/listing emission), a tiny fraction of the superset — but those
 // consumers revisit offsets, which the cache absorbs.
 func (g *Graph) InstAt(off int) x86.Inst {
-	if off < 0 || off >= len(g.Code) || !g.Info[off].Valid() {
+	if off < 0 || off >= len(g.Code) || !g.At(off).Valid() {
 		return x86.Inst{Flow: x86.FlowInvalid}
 	}
 	c := &g.dc
@@ -421,7 +440,7 @@ func (g *Graph) target(off int, e *Info) (tgt uint64, ok bool) {
 // TargetOff returns the section offset of a direct branch target, or -1
 // (outside the section, or wrapped around the address space).
 func (g *Graph) TargetOff(off int) int {
-	e := &g.Info[off]
+	e := g.At(off)
 	if !e.Valid() {
 		return -1
 	}
@@ -438,7 +457,7 @@ func (g *Graph) TargetOff(off int) int {
 // operand at off (mirrors x86.Inst.MemAddr on the packed table). ok is
 // false for invalid offsets and operands that depend on a data register.
 func (g *Graph) MemAddrAt(off int) (addr uint64, ok bool) {
-	e := &g.Info[off]
+	e := g.At(off)
 	const need = FlagValid | FlagMemResolved
 	if e.Flags&need != need {
 		return 0, false
@@ -461,7 +480,7 @@ func (g *Graph) MemAddrAt(off int) (addr uint64, ok bool) {
 // executable range begins right there (two adjacent text sections),
 // execution legitimately continues into it, so no -1 is emitted.
 func (g *Graph) ForcedSuccs(dst []int, off int) []int {
-	e := &g.Info[off]
+	e := g.At(off)
 	if !e.Valid() {
 		return dst
 	}
@@ -495,7 +514,7 @@ func (g *Graph) ForcedSuccs(dst []int, off int) []int {
 
 // Occupies reports the byte range [off, off+len) of the decode at off.
 func (g *Graph) Occupies(off int) (from, to int) {
-	e := &g.Info[off]
+	e := g.At(off)
 	if !e.Valid() {
 		return off, off
 	}
@@ -503,11 +522,12 @@ func (g *Graph) Occupies(off int) (from, to int) {
 }
 
 // ValidCount returns the number of offsets with a valid decode (useful as
-// a superset-density diagnostic).
+// a superset-density diagnostic). On lazy graphs it faults every block in
+// — diagnostic use only; the sharded pipeline never calls it.
 func (g *Graph) ValidCount() int {
 	n := 0
-	for i := range g.Info {
-		if g.Info[i].Flags&FlagValid != 0 {
+	for i := 0; i < g.Len(); i++ {
+		if g.At(i).Flags&FlagValid != 0 {
 			n++
 		}
 	}

@@ -54,4 +54,6 @@ var (
 	WithoutPrioritization = core.WithoutPrioritization
 	WithThreshold         = core.WithThreshold
 	WithWindow            = core.WithWindow
+	WithWorkers           = core.WithWorkers
+	WithShardBytes        = core.WithShardBytes
 )
