@@ -30,6 +30,7 @@ import (
 	"probedis/internal/stats"
 	"probedis/internal/superset"
 	"probedis/internal/synth"
+	"probedis/internal/x86"
 )
 
 // benchEnv is the shared, lazily-built benchmark environment (model and
@@ -412,6 +413,44 @@ func BenchmarkSupersetBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		superset.Build(e.big.Code, e.big.Base)
+	}
+}
+
+// BenchmarkScan isolates the length-only pre-decode kernel: one
+// x86.Scan pass over the large section into a reused Info buffer — the
+// inner loop superset.Build spends its time in. scan_fallback_pct is
+// the fraction of offsets the kernel handed to the full decoder
+// (VEX/EVEX first bytes); on compiler-shaped bytes it should stay in
+// the low single digits.
+func BenchmarkScan(b *testing.B) {
+	code, base := largeSection(b)
+	dst := make([]x86.Info, len(code))
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	var fb int
+	for i := 0; i < b.N; i++ {
+		fb = x86.Scan(dst, code, base, 0, len(code))
+	}
+	b.ReportMetric(float64(fb)/float64(len(code))*100, "scan_fallback_pct")
+}
+
+// BenchmarkScanDecodeLeanBaseline is the pre-kernel reference for
+// BenchmarkScan: the same per-offset pass through the general decoder
+// (DecodeLeanInto + PackLean). The ratio of the two is the fast-path
+// speedup on the superset substrate.
+func BenchmarkScanDecodeLeanBaseline(b *testing.B) {
+	code, base := largeSection(b)
+	dst := make([]x86.Info, len(code))
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var inst x86.Inst
+		for off := range code {
+			dst[off] = x86.Info{}
+			if x86.DecodeLeanInto(&inst, code[off:], base+uint64(off)) == nil {
+				dst[off] = x86.PackLean(&inst)
+			}
+		}
 	}
 }
 

@@ -87,6 +87,7 @@ func (d *Disassembler) disassembleSectionPool(ctx context.Context, code []byte, 
 		if bsp != nil {
 			bsp.SetBytes(int64(len(code)))
 			bsp.Count("valid_insts", int64(g.ValidCount()))
+			bsp.Count("scan_fallbacks", g.ScanFallbackCount())
 			bsp.End()
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"probedis/internal/core"
 	"probedis/internal/obs"
+	"probedis/internal/superset"
 )
 
 // T8StageCost profiles the pipeline itself: every corpus binary is
@@ -40,7 +41,10 @@ func (r *Runner) T8StageCost() Table {
 		a.calls++
 	}
 
+	fallbacksBefore := superset.ScanFallbacks()
+	var corpusBytes int64
 	for _, b := range r.Corpus {
+		corpusBytes += int64(len(b.Code))
 		tr := obs.NewTraceTimeOnly("disassemble")
 		d.DisassembleSectionTrace(b.Code, b.Base, int(b.Entry-b.Base), nil, tr)
 		tr.End()
@@ -81,6 +85,14 @@ func (r *Runner) T8StageCost() Table {
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("total traced wall time: %s over %d binaries",
 		total.Round(time.Millisecond), len(r.Corpus)))
+	fallbacks := superset.ScanFallbacks() - fallbacksBefore
+	pct := 0.0
+	if corpusBytes > 0 {
+		pct = 100 * float64(fallbacks) / float64(corpusBytes)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"superset scan fallbacks to the full decoder: %d of %d offsets (%.2f%%)",
+		fallbacks, corpusBytes, pct))
 	return t
 }
 

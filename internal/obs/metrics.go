@@ -27,18 +27,20 @@ func (m *Metric) Value() int64 { return m.val.Load() }
 // client library, no histogram machinery — counters and gauges cover
 // everything the disassembly service needs to alert on.
 type Registry struct {
-	mu      sync.Mutex
-	metrics map[string]*Metric
-	gauges  map[string]func() float64
-	help    map[string]string // base metric name -> HELP line
+	mu           sync.Mutex
+	metrics      map[string]*Metric
+	counterFuncs map[string]func() int64
+	gauges       map[string]func() float64
+	help         map[string]string // base metric name -> HELP line
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		metrics: map[string]*Metric{},
-		gauges:  map[string]func() float64{},
-		help:    map[string]string{},
+		metrics:      map[string]*Metric{},
+		counterFuncs: map[string]func() int64{},
+		gauges:       map[string]func() float64{},
+		help:         map[string]string{},
 	}
 }
 
@@ -62,6 +64,16 @@ func (r *Registry) SetHelp(name, help string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.help[name] = help
+}
+
+// CounterFunc registers a callback sampled at scrape time but rendered
+// as a counter: for monotonic totals a subsystem already tracks in its
+// own atomics (where a push-style Metric would double the bookkeeping or
+// drift from the source of truth).
+func (r *Registry) CounterFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = f
 }
 
 // Gauge registers a callback sampled at scrape time (heap size,
@@ -122,12 +134,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for s := range r.metrics {
 		series = append(series, s)
 	}
+	cfuncs := make([]string, 0, len(r.counterFuncs))
+	for c := range r.counterFuncs {
+		cfuncs = append(cfuncs, c)
+	}
 	gauges := make([]string, 0, len(r.gauges))
 	for g := range r.gauges {
 		gauges = append(gauges, g)
 	}
 	r.mu.Unlock()
 	sort.Strings(series)
+	sort.Strings(cfuncs)
 	sort.Strings(gauges)
 
 	seenType := map[string]bool{}
@@ -149,6 +166,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", s, m.Value()); err != nil {
+			return err
+		}
+	}
+	for _, c := range cfuncs {
+		r.mu.Lock()
+		f := r.counterFuncs[c]
+		help := r.help[c]
+		r.mu.Unlock()
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c, f()); err != nil {
 			return err
 		}
 	}

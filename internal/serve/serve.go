@@ -23,6 +23,7 @@ import (
 
 	"probedis/internal/core"
 	"probedis/internal/obs"
+	"probedis/internal/superset"
 	"probedis/internal/vclock"
 )
 
@@ -129,6 +130,8 @@ func New(d *core.Disassembler, cfg Config) *Server {
 	s.reg.SetHelp("probedis_cache_entries", "result-cache entries resident")
 	s.reg.SetHelp("probedis_cache_bytes", "result-cache body bytes resident")
 	s.reg.SetHelp("probedis_panics_total", "pipeline panics isolated to a 500 response")
+	s.reg.SetHelp("probedis_superset_scan_fallbacks_total",
+		"superset pre-decode offsets the length-only scan kernel handed to the full decoder")
 	s.reg.SetHelp("probedis_goroutines", "live goroutines")
 	s.reg.SetHelp("probedis_heap_alloc_bytes", "heap bytes in use")
 	s.reg.Gauge("probedis_inflight_requests", func() float64 { return float64(s.inflight.Load()) })
@@ -149,6 +152,10 @@ func New(d *core.Disassembler, cfg Config) *Server {
 			return float64(s.group.cache.sizeBytes())
 		})
 	}
+	// Process-wide, not per-server: the scan kernel's fallback count
+	// lives in the superset package's atomics, so sample it at scrape
+	// time instead of mirroring it into a second counter.
+	s.reg.CounterFunc("probedis_superset_scan_fallbacks_total", superset.ScanFallbacks)
 	s.reg.Gauge("probedis_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
 	s.reg.Gauge("probedis_heap_alloc_bytes", func() float64 {
 		var ms runtime.MemStats

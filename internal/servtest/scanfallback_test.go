@@ -1,0 +1,47 @@
+package servtest
+
+import (
+	"testing"
+
+	"probedis/internal/serve"
+	"probedis/internal/superset"
+)
+
+// TestScanFallbackCounterScrape pins the observability contract of the
+// superset scan kernel's fallback seam: the process-wide fallback total
+// folds into the /metrics scrape as probedis_superset_scan_fallbacks_total,
+// and a real disassembly moves it. The synth image is deterministic, and
+// its section bytes contain VEX/EVEX first bytes (c4/c5/62) at some
+// offsets — superset decoding visits every offset, so the scan kernel
+// must hand those to the full decoder and count them.
+func TestScanFallbackCounterScrape(t *testing.T) {
+	h := start(t, serve.Config{Slots: 2, Queue: 8, MaxBytes: 1 << 20})
+
+	before := superset.ScanFallbacks()
+	res, err := h.Post(synthELF(t, 7), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("status %d body %.120q", res.Status, res.Body)
+	}
+
+	m, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := superset.ScanFallbacks()
+
+	scraped, ok := m["probedis_superset_scan_fallbacks_total"]
+	if !ok {
+		t.Fatal("probedis_superset_scan_fallbacks_total missing from scrape")
+	}
+	if after <= before {
+		t.Fatalf("disassembly produced no scan fallbacks (total %d before and after); the fallback seam is dead", before)
+	}
+	// The scrape samples the live counter, so its value must sit between
+	// the readings taken on either side of it.
+	if int64(scraped) < before || int64(scraped) > after {
+		t.Errorf("scraped fallback total %v outside [%d, %d]", scraped, before, after)
+	}
+}

@@ -1,0 +1,75 @@
+package superset
+
+import (
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+// TestDecodeCacheSizeRaisesHitRate pins the point of the configurable
+// InstAt cache: on a working set that thrashes the 128-slot default, a
+// graph built WithDecodeCacheSlots(1024) converts the conflict misses
+// into hits. The access pattern is a deterministic round-robin over the
+// valid offsets in the first 1 KiB of a corpus binary — those offsets
+// have pairwise-distinct low 10 bits (so the 1024-slot cache holds them
+// all) while sharing low-7-bit slots eight deep (so the default cache
+// keeps evicting them).
+func TestDecodeCacheSizeRaisesHitRate(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 29, Profile: synth.ProfileAdvJTInline, NumFuncs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Code) < 1024 {
+		t.Fatalf("corpus binary too small: %d bytes", len(b.Code))
+	}
+
+	small := Build(b.Code, b.Base)
+	big := Build(b.Code, b.Base, WithDecodeCacheSlots(1024))
+	if got := small.DecodeCacheSlots(); got != defaultDecodeCacheSlots {
+		t.Fatalf("default cache slots = %d, want %d", got, defaultDecodeCacheSlots)
+	}
+	if got := big.DecodeCacheSlots(); got != 1024 {
+		t.Fatalf("configured cache slots = %d, want 1024", got)
+	}
+
+	var workingSet []int
+	for off := 0; off < 1024; off++ {
+		if small.Valid(off) {
+			workingSet = append(workingSet, off)
+		}
+	}
+	if len(workingSet) < 4*defaultDecodeCacheSlots {
+		t.Fatalf("only %d valid offsets in the first KiB; need > %d to thrash the default cache",
+			len(workingSet), 4*defaultDecodeCacheSlots)
+	}
+
+	const rounds = 3
+	run := func(g *Graph) (hits, misses int64) {
+		ResetDecodeCacheStats()
+		for r := 0; r < rounds; r++ {
+			for _, off := range workingSet {
+				g.InstAt(off)
+			}
+		}
+		return DecodeCacheStats()
+	}
+
+	hSmall, mSmall := run(small)
+	hBig, mBig := run(big)
+	lookups := int64(rounds * len(workingSet))
+	if hSmall+mSmall != lookups || hBig+mBig != lookups {
+		t.Fatalf("stats leak: small %d+%d, big %d+%d, want %d lookups each",
+			hSmall, mSmall, hBig, mBig, lookups)
+	}
+
+	// The big cache holds the whole working set: everything after the
+	// first round is a hit. The default cache cycles through eight-deep
+	// conflict groups, so every round misses every offset.
+	if wantBig := lookups - int64(len(workingSet)); hBig != wantBig {
+		t.Errorf("1024-slot cache: %d hits, want %d (all rounds after the first)", hBig, wantBig)
+	}
+	if hSmall >= hBig {
+		t.Errorf("hit rate did not improve: %d hits @%d slots vs %d hits @1024 slots",
+			hSmall, defaultDecodeCacheSlots, hBig)
+	}
+}

@@ -29,8 +29,8 @@ func TestInstAtConcurrent(t *testing.T) {
 			want[off] = g.InstAt(off) // warm-up doubles as the reference decode
 		}
 	}
-	if len(valid) < instCacheSize*2 {
-		t.Fatalf("only %d valid offsets; need enough to thrash the %d-slot cache", len(valid), instCacheSize)
+	if len(valid) < defaultDecodeCacheSlots*2 {
+		t.Fatalf("only %d valid offsets; need enough to thrash the %d-slot cache", len(valid), defaultDecodeCacheSlots)
 	}
 
 	const (

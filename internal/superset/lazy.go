@@ -54,12 +54,12 @@ type infoBlock struct {
 // no decoding up front — construction is O(1) in the section size — and
 // Graph.Info stays nil: every read must go through Graph.At (or the
 // accessors built on it), which the pipeline does.
-func BuildLazy(code []byte, base uint64, blockShift uint, maxResidentBlocks int) *Graph {
+func BuildLazy(code []byte, base uint64, blockShift uint, maxResidentBlocks int, opts ...BuildOption) *Graph {
 	if blockShift < minBlockShift {
 		blockShift = minBlockShift
 	}
 	nblocks := (len(code) + (1 << blockShift) - 1) >> blockShift
-	return &Graph{
+	g := &Graph{
 		Base: base,
 		Code: code,
 		lazy: &lazyInfo{
@@ -68,6 +68,10 @@ func BuildLazy(code []byte, base uint64, blockShift uint, maxResidentBlocks int)
 			maxResident: int64(maxResidentBlocks),
 		},
 	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
 }
 
 // minBlockShift bounds block granularity below: 4 KiB blocks keep the
@@ -142,9 +146,10 @@ func (l *lazyInfo) at(g *Graph, off int) *Info {
 }
 
 // fault decodes block b and publishes it. The decode is identical to the
-// corresponding slice of an eager Build: every offset decodes against
-// the full remaining section (code[off:]), so instructions spanning the
-// block edge — and validity at the section tail — come out the same.
+// corresponding slice of an eager Build: it runs the same x86.Scan
+// kernel, and every offset decodes against the full remaining section
+// (code[off:]), so instructions spanning the block edge — and validity
+// at the section tail — come out the same.
 func (l *lazyInfo) fault(g *Graph, b int) *infoBlock {
 	from := b << l.shift
 	to := from + 1<<l.shift
@@ -152,13 +157,7 @@ func (l *lazyInfo) fault(g *Graph, b int) *infoBlock {
 		to = len(g.Code)
 	}
 	blk := &infoBlock{info: make([]Info, to-from)}
-	var inst x86.Inst
-	for off := from; off < to; off++ {
-		if x86.DecodeLeanInto(&inst, g.Code[off:], g.Base+uint64(off)) != nil {
-			continue
-		}
-		blk.info[off-from] = pack(&inst)
-	}
+	g.addScanFallbacks(x86.Scan(blk.info, g.Code, g.Base, from, to))
 	if !l.slots[b].CompareAndSwap(nil, blk) {
 		// Lost a publication race: the winner's block has identical
 		// content (pure function of Code), adopt it. It can only have

@@ -32,36 +32,20 @@ type Range struct {
 // Contains reports whether addr falls in the range.
 func (r Range) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
 
-// Info flag bits (Info.Flags).
+// Info flag bits (Info.Flags), re-exported so consumers keep their
+// superset.Flag* spelling. The canonical definitions (and their docs)
+// live next to the decoder in internal/x86.
 const (
-	// FlagValid marks an offset that decodes to a valid instruction
-	// fitting within the section. All other fields are meaningful only
-	// when it is set.
-	FlagValid uint16 = 1 << iota
-	// FlagRare marks privileged or highly unusual opcodes (x86.Inst.Rare).
-	FlagRare
-	// FlagSeg marks a segment-override prefix (x86.PrefixSeg).
-	FlagSeg
-	// FlagNop marks NOP-family instructions (x86.Inst.IsNop).
-	FlagNop
-	// FlagHasMem marks an instruction with a memory operand.
-	FlagHasMem
-	// FlagHasImm marks an instruction with an immediate operand.
-	FlagHasImm
-	// FlagMemRIP marks a memory operand with Base == RIP.
-	FlagMemRIP
-	// FlagMemResolved marks a memory operand whose address is statically
-	// resolvable (x86.Inst.MemAddr returns ok: RIP-relative or absolute).
-	FlagMemResolved
-	// FlagTargetDelta says Delta holds the direct-branch target as a
-	// self-relative delta. Direct branches whose displacement is too wide
-	// for int32 (possible only near the ±2 GiB edge) leave it clear and
-	// fall back to lazy re-decode.
-	FlagTargetDelta
-	// FlagMemDelta says Delta holds the resolved memory-operand address
-	// as a self-relative delta (set only with FlagMemResolved; absolute
-	// operands far from the section fall back to lazy re-decode).
-	FlagMemDelta
+	FlagValid       = x86.FlagValid
+	FlagRare        = x86.FlagRare
+	FlagSeg         = x86.FlagSeg
+	FlagNop         = x86.FlagNop
+	FlagHasMem      = x86.FlagHasMem
+	FlagHasImm      = x86.FlagHasImm
+	FlagMemRIP      = x86.FlagMemRIP
+	FlagMemResolved = x86.FlagMemResolved
+	FlagTargetDelta = x86.FlagTargetDelta
+	FlagMemDelta    = x86.FlagMemDelta
 )
 
 // Info is the packed per-offset decode record: 16 bytes covering
@@ -69,94 +53,25 @@ const (
 // behaviour penalties, hint pattern prefilters, the corrector) read.
 // Anything else — operand shapes, immediates, register effects — is
 // materialized on demand with Graph.InstAt.
-type Info struct {
-	// Delta is a self-relative encoding of the direct-branch target
-	// (FlagTargetDelta) or the resolved memory-operand address
-	// (FlagMemDelta): absolute address = section base + offset + Delta.
-	Delta int32
-	// StackDelta is the statically-known RSP change in bytes.
-	StackDelta int32
-	// Op is the mnemonic.
-	Op x86.Op
-	// Tok is the precomputed statistical token (x86.Inst.TokenID).
-	Tok uint16
-	// Flags holds the Flag* bits, including validity.
-	Flags uint16
-	// Len is the encoded instruction length in bytes (1..15).
-	Len uint8
-	// Flow is the control-flow class.
-	Flow x86.Flow
-}
+//
+// It is an alias for x86.Info: the definition lives beside the decoder
+// so the batch x86.Scan kernel can emit records directly from its
+// dispatch tables, without an import cycle or a copy.
+type Info = x86.Info
 
-// Valid reports whether the offset decodes to a valid instruction.
-func (e *Info) Valid() bool { return e.Flags&FlagValid != 0 }
+// pack collapses a decoded instruction into its 16-byte side-table
+// record (the point-read path; bulk construction goes through x86.Scan).
+func pack(inst *x86.Inst) Info { return x86.PackLean(inst) }
 
-// Rare reports a privileged/unusual opcode (x86.Inst.Rare).
-func (e *Info) Rare() bool { return e.Flags&FlagRare != 0 }
+// scanFallbackTotal counts offsets where the table-driven scan kernel
+// bailed to the full decoder (VEX/EVEX escapes; see x86.Scan), across
+// all graphs since process start. Exposed as the
+// superset_scan_fallbacks_total metric so table-coverage regressions
+// are visible in /metrics rather than silently eating the speedup.
+var scanFallbackTotal atomic.Int64
 
-// SegPrefix reports a segment-override prefix.
-func (e *Info) SegPrefix() bool { return e.Flags&FlagSeg != 0 }
-
-// IsNop reports a NOP-family instruction.
-func (e *Info) IsNop() bool { return e.Flags&FlagNop != 0 }
-
-// HasMem reports a memory operand.
-func (e *Info) HasMem() bool { return e.Flags&FlagHasMem != 0 }
-
-// HasImm reports an immediate operand.
-func (e *Info) HasImm() bool { return e.Flags&FlagHasImm != 0 }
-
-// MemBaseRIP reports a RIP-based memory operand.
-func (e *Info) MemBaseRIP() bool { return e.Flags&FlagMemRIP != 0 }
-
-// pack collapses a decoded instruction into its 16-byte side-table record.
-func pack(inst *x86.Inst) Info {
-	e := Info{
-		StackDelta: inst.StackDelta,
-		Op:         inst.Op,
-		Tok:        inst.TokenID(),
-		Flags:      FlagValid,
-		Len:        uint8(inst.Len),
-		Flow:       inst.Flow,
-	}
-	if inst.Rare {
-		e.Flags |= FlagRare
-	}
-	if inst.Prefix&x86.PrefixSeg != 0 {
-		e.Flags |= FlagSeg
-	}
-	if inst.IsNop() {
-		e.Flags |= FlagNop
-	}
-	if inst.HasImm {
-		e.Flags |= FlagHasImm
-	}
-	if inst.HasMem {
-		e.Flags |= FlagHasMem
-		if inst.Mem.Base == x86.RIP {
-			e.Flags |= FlagMemRIP
-		}
-		if addr, ok := inst.MemAddr(); ok {
-			e.Flags |= FlagMemResolved
-			if d := int64(addr) - int64(inst.Addr); d == int64(int32(d)) {
-				e.Flags |= FlagMemDelta
-				e.Delta = int32(d)
-			}
-		}
-	}
-	switch inst.Flow {
-	case x86.FlowJump, x86.FlowCondJump, x86.FlowCall:
-		// Direct branches carry no memory operand, so the Delta slot is
-		// free; clear the mem role anyway so the slot is never ambiguous.
-		e.Flags &^= FlagMemDelta
-		e.Delta = 0
-		if d := int64(inst.Target) - int64(inst.Addr); d == int64(int32(d)) {
-			e.Flags |= FlagTargetDelta
-			e.Delta = int32(d)
-		}
-	}
-	return e
-}
+// ScanFallbacks returns the cumulative scan-kernel fallback count.
+func ScanFallbacks() int64 { return scanFallbackTotal.Load() }
 
 // Graph is the superset disassembly of one text section.
 type Graph struct {
@@ -183,6 +98,37 @@ type Graph struct {
 	// dc caches recent full decodes behind InstAt (see instCache). Value
 	// field, so zero-value Graphs built by struct literal keep working.
 	dc instCache
+
+	// scanFB counts this graph's scan-kernel fallbacks (see ScanFallbacks).
+	scanFB atomic.Int64
+}
+
+// A BuildOption tunes graph construction (Build, BuildContext, BuildLazy).
+type BuildOption func(*Graph)
+
+// WithDecodeCacheSlots sets the InstAt decode-cache slot count for the
+// graph being built. n is rounded up to a power of two and clamped to
+// [minDecodeCacheSlots, maxDecodeCacheSlots]; n <= 0 keeps the default
+// (defaultDecodeCacheSlots). Callers whose InstAt working set scales
+// with the section — jump-table shape checks, listing emission over big
+// sections — can size the cache accordingly, e.g. len(code)/256 slots.
+func WithDecodeCacheSlots(n int) BuildOption {
+	return func(g *Graph) { g.dc.slots = clampCacheSlots(n) }
+}
+
+// ScanFallbackCount returns the number of offsets of this graph that
+// were filled through the scan kernel's DecodeLeanInto fallback rather
+// than its table-driven fast path (lazy graphs accumulate as blocks
+// fault in).
+func (g *Graph) ScanFallbackCount() int64 { return g.scanFB.Load() }
+
+// addScanFallbacks folds a Scan call's fallback count into the graph's
+// and the process-wide counters.
+func (g *Graph) addScanFallbacks(n int) {
+	if n != 0 {
+		g.scanFB.Add(int64(n))
+		scanFallbackTotal.Add(int64(n))
+	}
 }
 
 // SetExtern registers additional executable ranges (see Graph.extern).
@@ -225,11 +171,11 @@ func (g *Graph) ExternTarget(addr uint64) bool {
 }
 
 // Build decodes an instruction at every offset of code, packing each
-// result into the 16-byte side-table in the same pass. Decoding at each
-// offset is independent, so large sections are decoded in parallel; the
-// result is deterministic.
-func Build(code []byte, base uint64) *Graph {
-	g, _ := BuildContext(nil, code, base)
+// result into the 16-byte side-table in the same pass via the x86.Scan
+// length-only kernel. Decoding at each offset is independent, so large
+// sections are decoded in parallel; the result is deterministic.
+func Build(code []byte, base uint64, opts ...BuildOption) *Graph {
+	g, _ := BuildContext(nil, code, base, opts...)
 	return g
 }
 
@@ -239,11 +185,14 @@ func Build(code []byte, base uint64) *Graph {
 // so a cancelled request stops burning CPU within a few thousand decodes.
 // The poll sits outside the per-offset loop — the nil-ctx path (what
 // Build uses) runs the exact pre-cancellation instruction sequence.
-func BuildContext(ctx context.Context, code []byte, base uint64) (*Graph, error) {
+func BuildContext(ctx context.Context, code []byte, base uint64, opts ...BuildOption) (*Graph, error) {
 	g := &Graph{
 		Base: base,
 		Code: code,
 		Info: make([]Info, len(code)),
+	}
+	for _, opt := range opts {
+		opt(g)
 	}
 	// decodeRange is a top-level function (not a closure) and each
 	// branch declares its own stop flag, so the serial path allocates
@@ -283,27 +232,27 @@ func BuildContext(ctx context.Context, code []byte, base uint64) (*Graph, error)
 	return g, nil
 }
 
-// decodeRange decodes offsets [from, to) into g.Info, polling ctx (and
-// the shared stop flag) every ctxutil.CheckInterval offsets.
+// decodeRange decodes offsets [from, to) into g.Info through the
+// x86.Scan table-driven kernel, polling ctx (and the shared stop flag)
+// every ctxutil.CheckInterval offsets — one Scan call per checkpoint
+// chunk, so cancellation latency is unchanged from the per-offset loop
+// it replaced.
 func decodeRange(ctx context.Context, g *Graph, stop *atomic.Bool, from, to int) {
 	code, base := g.Code, g.Base
-	var inst x86.Inst // reused across offsets; DecodeLeanInto fully resets it
+	fallbacks := 0
 	for off := from; off < to; {
 		chunkEnd := off + ctxutil.CheckInterval
 		if chunkEnd > to {
 			chunkEnd = to
 		}
-		for ; off < chunkEnd; off++ {
-			if x86.DecodeLeanInto(&inst, code[off:], base+uint64(off)) != nil {
-				continue
-			}
-			g.Info[off] = pack(&inst)
-		}
+		fallbacks += x86.Scan(g.Info[off:chunkEnd], code, base, off, chunkEnd)
+		off = chunkEnd
 		if off < to && (stop.Load() || ctxutil.Cancelled(ctx)) {
 			stop.Store(true)
-			return
+			break
 		}
 	}
+	g.addScanFallbacks(fallbacks)
 }
 
 // Len returns the section size.
@@ -326,24 +275,51 @@ func (g *Graph) At(off int) *Info {
 // fits within the section.
 func (g *Graph) Valid(off int) bool { return g.At(off).Flags&FlagValid != 0 }
 
-// instCacheSize is the decode cache's entry count (direct-mapped by
-// offset). 128 entries cover the working set of the dispatch-idiom and
-// listing scans, which revisit a small neighbourhood of offsets, at
-// ~17 KiB per graph. Must be a power of two.
-const instCacheSize = 128
+// Decode-cache sizing (entry counts are direct-mapped by offset and
+// must be powers of two). 128 entries cover the working set of the
+// dispatch-idiom and listing scans, which revisit a small neighbourhood
+// of offsets, at ~17 KiB per graph; WithDecodeCacheSlots widens it for
+// InstAt-heavy consumers. The upper clamp keeps a misconfigured caller
+// from allocating gigabytes of Inst backing (~128 B per slot).
+const (
+	defaultDecodeCacheSlots = 128
+	minDecodeCacheSlots     = 8
+	maxDecodeCacheSlots     = 1 << 20
+)
 
-// instCache is a small fixed-size direct-mapped cache of materialized
+// clampCacheSlots rounds n up to a power of two within the slot bounds;
+// n <= 0 selects the default.
+func clampCacheSlots(n int) int {
+	if n <= 0 {
+		return defaultDecodeCacheSlots
+	}
+	if n < minDecodeCacheSlots {
+		return minDecodeCacheSlots
+	}
+	if n > maxDecodeCacheSlots {
+		return maxDecodeCacheSlots
+	}
+	p := minDecodeCacheSlots
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// instCache is a small direct-mapped cache of materialized
 // instructions, so hot InstAt consumers (jump-table shape checks, CFG
 // details, listing/rewrite emission, the oracle) stop paying the lazy
 // re-decode tax when they revisit offsets. Embedded by value in Graph:
-// the zero value (tag 0 = empty) is ready to use, so Graph literals in
+// the zero value is ready to use (the backing arrays are allocated on
+// first InstAt, sized by slots or the default), so Graph literals in
 // tests keep working. Guarded by a mutex because analyses sharing one
 // graph run concurrently; the lock is uncontended in the serial pipeline
 // and far cheaper than a re-decode.
 type instCache struct {
 	mu    sync.Mutex
-	tags  [instCacheSize]int32 // offset+1; 0 = empty slot
-	insts [instCacheSize]x86.Inst
+	slots int        // power-of-two entry count; 0 = default on first use
+	tags  []int32    // offset+1; 0 = empty slot
+	insts []x86.Inst // nil until the first InstAt
 }
 
 // Decode-cache hit counters, aggregated across graphs (the benchmark
@@ -363,6 +339,17 @@ func ResetDecodeCacheStats() {
 	dcMisses.Store(0)
 }
 
+// DecodeCacheSlots returns the graph's effective InstAt decode-cache
+// slot count (the default when none was configured).
+func (g *Graph) DecodeCacheSlots() int {
+	g.dc.mu.Lock()
+	defer g.dc.mu.Unlock()
+	if g.dc.slots == 0 {
+		return defaultDecodeCacheSlots
+	}
+	return g.dc.slots
+}
+
 // InstAt materializes the full decoded instruction at off, re-decoding
 // the bytes through a small per-graph cache. Offsets without a valid
 // decode return a zero instruction with Flow == FlowInvalid. This is the
@@ -375,8 +362,15 @@ func (g *Graph) InstAt(off int) x86.Inst {
 		return x86.Inst{Flow: x86.FlowInvalid}
 	}
 	c := &g.dc
-	slot := off & (instCacheSize - 1)
 	c.mu.Lock()
+	if c.tags == nil {
+		if c.slots == 0 {
+			c.slots = defaultDecodeCacheSlots
+		}
+		c.tags = make([]int32, c.slots)
+		c.insts = make([]x86.Inst, c.slots)
+	}
+	slot := off & (c.slots - 1)
 	if c.tags[slot] == int32(off)+1 {
 		inst := c.insts[slot]
 		c.mu.Unlock()
