@@ -1,9 +1,9 @@
 # Tier-1 verification (see ROADMAP.md). The pipeline is concurrent
 # end-to-end, so vet and the race detector are part of the baseline gate;
 # cover enforces the per-package statement-coverage floor.
-.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke servtest acc acc-baseline
+.PHONY: verify build test race vet bench bench-smoke cover fuzz-smoke servtest storetest acc acc-baseline
 
-verify: build vet test race cover acc servtest
+verify: build vet test race cover acc servtest storetest
 
 build:
 	go build ./...
@@ -53,6 +53,7 @@ acc-baseline:
 COVER_MIN = 70
 COVER_MIN_SYNTH = 90
 COVER_MIN_EVAL = 80
+COVER_MIN_STORE = 80
 cover:
 	@go test -cover ./internal/... | awk '\
 		/coverage:/ { \
@@ -62,6 +63,7 @@ cover:
 			floor = $(COVER_MIN); \
 			if ($$2 == "probedis/internal/synth") floor = $(COVER_MIN_SYNTH); \
 			if ($$2 == "probedis/internal/eval") floor = $(COVER_MIN_EVAL); \
+			if ($$2 == "probedis/internal/store") floor = $(COVER_MIN_STORE); \
 			printf "%-32s %6.1f%% (floor %d%%)\n", $$2, pct, floor; \
 			if (pct + 0 < floor) { bad = 1; printf "FAIL %s below %d%% floor\n", $$2, floor } \
 		} \
@@ -78,3 +80,11 @@ fuzz-smoke:
 servtest:
 	PROBEDIS_LEAK_REPORT=/tmp/servtest-leak.txt \
 		go test -race -count=2 -timeout=5m ./internal/servtest
+
+# Persistent result store under fault injection (torn writes, truncated
+# entries, bit flips, crash-before-rename), run twice under -race to
+# catch order-dependent state. PROBEDIS_QUARANTINE_REPORT receives a
+# description of quarantined entries if a corruption check fails.
+storetest:
+	PROBEDIS_QUARANTINE_REPORT=/tmp/store-quarantine.txt \
+		go test -race -count=2 -timeout=5m ./internal/store

@@ -6,6 +6,7 @@
 //	disasmd [-addr :8421] [-workers 0] [-batch 0] [-queue 0]
 //	        [-max-bytes 67108864] [-deadline 0] [-cache-entries 128]
 //	        [-cache-bytes 67108864] [-model m.pdmd] [-shard-bytes 0]
+//	        [-spool-bytes 524288] [-store-dir dir] [-store-bytes 1073741824]
 //
 // Endpoints:
 //
@@ -14,10 +15,12 @@
 //	                         span tree (bypasses the result cache).
 //	                         Malformed ELF -> 400, oversized -> 413,
 //	                         saturated -> 429 (+Retry-After), deadline
-//	                         exceeded -> 504.
+//	                         exceeded -> 504, spool/store space
+//	                         exhausted -> 507.
 //	GET  /metrics            Prometheus text format: request counters,
-//	                         cache hit/miss/eviction counters, queue and
-//	                         inflight gauges, cumulative per-stage wall
+//	                         cache hit/miss/eviction counters, store and
+//	                         spool counters/gauges, queue and inflight
+//	                         gauges, cumulative per-stage wall
 //	                         time/bytes/calls, heap and goroutine gauges.
 //	GET  /debug/pprof/*      stdlib CPU/heap/goroutine profiling.
 //	GET  /healthz            liveness probe.
@@ -28,6 +31,14 @@
 // client's context plus the optional -deadline, which the pipeline
 // observes cooperatively (see core.DisassembleELFDetailContext).
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Uploads are streamed: bodies above -spool-bytes spill to a temp file
+// that is memory-mapped for the parse, so resident memory per request
+// is bounded by the spool threshold, not the image size. With
+// -store-dir set, marshaled results are persisted to a shared
+// content-addressed store — replicas pointed at the same directory
+// compute each unique image once fleet-wide (X-Probedis-Cache: disk on
+// cross-replica hits).
 package main
 
 import (
@@ -59,11 +70,14 @@ func main() {
 	modelPath := flag.String("model", "", "load a trained model (see cmd/train); default trains in-process")
 	tier := flag.Bool("tier", true, "tiered correction: score statistics only over contested windows (off = single-phase reference; output is identical)")
 	shardBytes := flag.Int("shard-bytes", 0, "split sections larger than this into shards analysed on the request's worker pool with O(shard) resident memory (0 = whole-section; output is identical)")
+	spoolBytes := flag.Int64("spool-bytes", 0, "largest upload kept in memory; larger bodies spool to a mmap-ed temp file (0 = 512 KiB, negative = buffer whole bodies)")
+	storeDir := flag.String("store-dir", "", "persistent content-addressed result store root, shareable between replicas (empty = disabled)")
+	storeBytes := flag.Int64("store-bytes", 0, "result store byte budget, LRU-swept past it (0 = 1 GiB)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: disasmd [-addr :8421] [-workers n] [-batch n] [-queue n]"+
 			" [-max-bytes n] [-deadline d] [-cache-entries n] [-cache-bytes n] [-model m.pdmd]"+
-			" [-tier=false] [-shard-bytes n]")
+			" [-tier=false] [-shard-bytes n] [-spool-bytes n] [-store-dir dir] [-store-bytes n]")
 		os.Exit(2)
 	}
 
@@ -91,14 +105,20 @@ func main() {
 		copts = append(copts, core.WithShardBytes(*shardBytes))
 	}
 	d := core.New(model, copts...)
-	s := serve.New(d, serve.Config{
+	s, err := serve.New(d, serve.Config{
 		Slots:        *batch,
 		Queue:        *queue,
 		MaxBytes:     *maxBytes,
 		Deadline:     *deadline,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheBytes,
+		SpoolBytes:   *spoolBytes,
+		StoreDir:     *storeDir,
+		StoreBytes:   *storeBytes,
 	})
+	if err != nil {
+		log.Fatalf("disasmd: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Routes(),

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"probedis/internal/synth"
+)
+
+// byteViewReader is what a resident spool body looks like: ReadAt plus a
+// ByteView exposing the whole image (elfx.ByteViewer).
+type byteViewReader struct{ b []byte }
+
+func (r byteViewReader) ReadAt(p []byte, off int64) (int, error) {
+	return bytes.NewReader(r.b).ReadAt(p, off)
+}
+func (r byteViewReader) ByteView() []byte { return r.b }
+
+// TestDisassembleELFAtMatchesSlice: the ReaderAt entry point must be
+// indistinguishable from the byte-slice path — over both the piecewise
+// ReadAt fallback and the zero-copy ByteViewer fast path.
+func TestDisassembleELFAtMatchesSlice(t *testing.T) {
+	b, err := synth.Generate(synth.Config{Seed: 101, Profile: synth.ProfileO2, NumFuncs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.ELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(DefaultModel())
+	want, err := d.DisassembleELFDetail(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("readat-fallback", func(t *testing.T) {
+		got, err := d.DisassembleELFAt(bytes.NewReader(img), int64(len(img)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("ReaderAt fallback path diverges from slice path")
+		}
+	})
+	t.Run("byteview-fast-path", func(t *testing.T) {
+		got, err := d.DisassembleELFAt(byteViewReader{img}, int64(len(img)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("ByteViewer path diverges from slice path")
+		}
+		// Zero-copy means section Data aliases the image, not a fresh
+		// buffer: its first byte must be one of img's bytes.
+		text := got[0]
+		if len(text.Data) > 0 {
+			aliases := false
+			for off := range img {
+				if &text.Data[0] == &img[off] {
+					aliases = true
+					break
+				}
+			}
+			if !aliases {
+				t.Error("ByteViewer path copied section data")
+			}
+		}
+	})
+}
+
+// TestDisassembleELFAtRejectsGarbage mirrors the slice path's rejection.
+func TestDisassembleELFAtRejectsGarbage(t *testing.T) {
+	d := New(DefaultModel())
+	junk := []byte("definitely not an elf image")
+	if _, err := d.DisassembleELFAt(bytes.NewReader(junk), int64(len(junk))); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

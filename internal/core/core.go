@@ -26,6 +26,16 @@ import (
 	"probedis/internal/tier"
 )
 
+// PipelineFingerprint identifies the pipeline generation for the
+// persistent result store (internal/store): entries written under a
+// different fingerprint are invalidated wholesale, because a cached
+// result is only reusable while the pipeline that produced it would
+// reproduce it byte for byte. Bump the version suffix in any PR that
+// changes pipeline output or the serialized response encoding (the
+// pinned-accuracy and golden-listing tests are the tripwires for the
+// former).
+const PipelineFingerprint = "probedis-pipeline-v1"
+
 // Option configures a Disassembler.
 type Option func(*Disassembler)
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"probedis/internal/ctxutil"
@@ -140,6 +141,34 @@ func (d *Disassembler) DisassembleELFTraceContext(ctx context.Context, img []byt
 	if err != nil {
 		return nil, err
 	}
+	return d.disassembleFile(ctx, f, sp)
+}
+
+// DisassembleELFAt is DisassembleELFDetail over an io.ReaderAt — the
+// streaming-ingest seam: a spooled upload (memory-mapped or not) is
+// parsed through elfx.ParseAt, zero-copy when the source exposes a
+// resident view (elfx.ByteViewer), piecewise otherwise, so the image
+// never has to exist as one heap buffer.
+func (d *Disassembler) DisassembleELFAt(r io.ReaderAt, n int64) ([]SectionDetail, error) {
+	return d.DisassembleELFAtTraceContext(nil, r, n, nil)
+}
+
+// DisassembleELFAtTraceContext is DisassembleELFAt with tracing and
+// cooperative cancellation (see DisassembleELFTraceContext).
+func (d *Disassembler) DisassembleELFAtTraceContext(ctx context.Context, r io.ReaderAt, n int64, sp *obs.Span) ([]SectionDetail, error) {
+	psp := sp.StartChild("parse")
+	psp.SetBytes(n)
+	f, err := elfx.ParseAt(r, n)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	return d.disassembleFile(ctx, f, sp)
+}
+
+// disassembleFile runs the per-section pipeline over a parsed image —
+// the shared tail of the byte-slice and ReaderAt entry points.
+func (d *Disassembler) disassembleFile(ctx context.Context, f *elfx.File, sp *obs.Span) ([]SectionDetail, error) {
 	if ctxutil.Cancelled(ctx) {
 		return nil, ctxutil.Err(ctx)
 	}

@@ -32,9 +32,17 @@ func put16(img []byte, off int, v uint16) []byte {
 	return out
 }
 
-// TestParseMalformed feeds hostile images to Parse: every case must return
-// an error — never panic, never succeed with out-of-range slices.
-func TestParseMalformed(t *testing.T) {
+// namedImage is one corpus case shared between the Parse malformed
+// tests and the ParseAt differential tests.
+type namedImage struct {
+	name string
+	img  []byte
+}
+
+// malformedImages builds the hostile-image corpus: every case must be
+// rejected by Parse (and, identically, by ParseAt).
+func malformedImages(t *testing.T) []namedImage {
+	t.Helper()
 	img := baseImage(t)
 	// ELF header field offsets.
 	const (
@@ -46,10 +54,7 @@ func TestParseMalformed(t *testing.T) {
 	)
 	shoff := le.Uint64(img[ehShoff:])
 
-	cases := []struct {
-		name string
-		img  []byte
-	}{
+	return []namedImage{
 		{"empty", nil},
 		{"truncated-header", img[:32]},
 		{"bad-magic", append([]byte{'M', 'Z', 0, 0}, img[4:]...)},
@@ -71,7 +76,12 @@ func TestParseMalformed(t *testing.T) {
 		{"section-off-overflow", put64(img, int(shoff)+shSize+24, ^uint64(0)-4)},
 		{"section-size-past-eof", put64(img, int(shoff)+shSize+32, uint64(len(img)))},
 	}
-	for _, tc := range cases {
+}
+
+// TestParseMalformed feeds hostile images to Parse: every case must return
+// an error — never panic, never succeed with out-of-range slices.
+func TestParseMalformed(t *testing.T) {
+	for _, tc := range malformedImages(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			f, err := Parse(tc.img)
 			if err == nil {

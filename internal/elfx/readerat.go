@@ -1,0 +1,176 @@
+package elfx
+
+import (
+	"fmt"
+	"io"
+)
+
+// ByteViewer is implemented by io.ReaderAt sources whose bytes are
+// already resident — an mmap view of a spooled upload, an in-memory
+// buffer. ParseAt parses such sources zero-copy through Parse, so
+// section Data aliases the view instead of being read into fresh heap
+// buffers.
+type ByteViewer interface {
+	// ByteView returns the full underlying bytes, or nil when they are
+	// not (yet) resident, in which case ParseAt falls back to ReadAt.
+	ByteView() []byte
+}
+
+// ParseAt reads an ELF64 little-endian x86-64 image of n bytes from r —
+// the streaming-ingest seam of Parse. When r implements ByteViewer and
+// its bytes are resident, parsing is zero-copy (identical to Parse on
+// that view). Otherwise headers and section data are read piecewise via
+// ReadAt into exactly-sized buffers: memory is bounded by the bytes the
+// image actually backs, never by double-buffering the transport.
+//
+// ParseAt accepts and rejects exactly the inputs Parse does (the
+// differential test in readerat_test.go pins this over the valid corpus
+// and the malformed-header corpus).
+func ParseAt(r io.ReaderAt, n int64) (*File, error) {
+	if bv, ok := r.(ByteViewer); ok {
+		if b := bv.ByteView(); b != nil && int64(len(b)) == n {
+			return Parse(b)
+		}
+	}
+	if n < 0 {
+		return nil, ErrNotELF
+	}
+	p := &atParser{r: r, n: uint64(n)}
+	return p.parse()
+}
+
+// atParser mirrors Parse over an io.ReaderAt, preserving its bounds
+// checks (including uint64-wraparound guards) and error classification.
+type atParser struct {
+	r io.ReaderAt
+	n uint64
+}
+
+// read returns size bytes at off, failing (like the slice-bounds checks
+// in Parse) when [off, off+size) is not within the image.
+func (p *atParser) read(off, size uint64) ([]byte, error) {
+	if !inBounds(off, size, p.n) {
+		return nil, fmt.Errorf("elfx: read [%#x,+%#x) out of range", off, size)
+	}
+	if size == 0 {
+		// Non-nil like the zero-length subslices Parse produces, so the
+		// two parsers yield DeepEqual Files.
+		return []byte{}, nil
+	}
+	buf := make([]byte, size)
+	if _, err := p.r.ReadAt(buf, int64(off)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("elfx: reading image: %w", err)
+	}
+	return buf, nil
+}
+
+func (p *atParser) parse() (*File, error) {
+	if p.n < ehSize {
+		return nil, ErrNotELF
+	}
+	eh, err := p.read(0, ehSize)
+	if err != nil {
+		return nil, ErrNotELF
+	}
+	if eh[0] != 0x7f || eh[1] != 'E' || eh[2] != 'L' || eh[3] != 'F' {
+		return nil, ErrNotELF
+	}
+	if eh[4] != ElfClass64 || eh[5] != ElfData2LSB {
+		return nil, fmt.Errorf("%w: class=%d data=%d", ErrUnsupported, eh[4], eh[5])
+	}
+	f := &File{
+		Type:    le.Uint16(eh[16:]),
+		Machine: le.Uint16(eh[18:]),
+		Entry:   le.Uint64(eh[24:]),
+	}
+	if f.Machine != EMX8664 {
+		return nil, fmt.Errorf("%w: machine=%#x", ErrUnsupported, f.Machine)
+	}
+	phoff := le.Uint64(eh[32:])
+	shoff := le.Uint64(eh[40:])
+	phentsize := le.Uint16(eh[54:])
+	phnum := le.Uint16(eh[56:])
+	shentsize := le.Uint16(eh[58:])
+	shnum := le.Uint16(eh[60:])
+	shstrndx := le.Uint16(eh[62:])
+
+	for i := 0; i < int(phnum); i++ {
+		off := phoff + uint64(i)*uint64(phentsize)
+		if off < phoff || !inBounds(off, phSize, p.n) {
+			return nil, fmt.Errorf("elfx: program header %d out of range", i)
+		}
+		ph, err := p.read(off, phSize)
+		if err != nil {
+			return nil, err
+		}
+		seg := Segment{
+			Type:   le.Uint32(ph),
+			Flags:  le.Uint32(ph[4:]),
+			Off:    le.Uint64(ph[8:]),
+			Vaddr:  le.Uint64(ph[16:]),
+			Filesz: le.Uint64(ph[32:]),
+			Memsz:  le.Uint64(ph[40:]),
+		}
+		if !inBounds(seg.Off, seg.Filesz, p.n) {
+			return nil, fmt.Errorf("elfx: segment %d data out of range", i)
+		}
+		if seg.Data, err = p.read(seg.Off, seg.Filesz); err != nil {
+			return nil, err
+		}
+		f.Segments = append(f.Segments, seg)
+	}
+
+	if shnum == 0 || shoff == 0 {
+		return f, nil
+	}
+	// Section name string table: best-effort, exactly as Parse — a bad
+	// shstrtab yields empty names, not an error.
+	var shstr []byte
+	strOff := shoff + uint64(shstrndx)*uint64(shentsize)
+	if int(shstrndx) < int(shnum) && strOff >= shoff && inBounds(strOff, shSize, p.n) {
+		if sh, err := p.read(strOff, shSize); err == nil {
+			o, sz := le.Uint64(sh[24:]), le.Uint64(sh[32:])
+			if inBounds(o, sz, p.n) {
+				shstr, _ = p.read(o, sz)
+			}
+		}
+	}
+	name := func(idx uint32) string {
+		if int(idx) >= len(shstr) {
+			return ""
+		}
+		end := idx
+		for int(end) < len(shstr) && shstr[end] != 0 {
+			end++
+		}
+		return string(shstr[idx:end])
+	}
+	for i := 0; i < int(shnum); i++ {
+		off := shoff + uint64(i)*uint64(shentsize)
+		if off < shoff || !inBounds(off, shSize, p.n) {
+			return nil, fmt.Errorf("elfx: section header %d out of range", i)
+		}
+		sh, err := p.read(off, shSize)
+		if err != nil {
+			return nil, err
+		}
+		sec := Section{
+			Name:  name(le.Uint32(sh)),
+			Type:  le.Uint32(sh[4:]),
+			Flags: le.Uint64(sh[8:]),
+			Addr:  le.Uint64(sh[16:]),
+			Off:   le.Uint64(sh[24:]),
+			Size:  le.Uint64(sh[32:]),
+		}
+		if sec.Type != SHTNobits && sec.Type != SHTNull {
+			if !inBounds(sec.Off, sec.Size, p.n) {
+				return nil, fmt.Errorf("elfx: section %q data out of range", sec.Name)
+			}
+			if sec.Data, err = p.read(sec.Off, sec.Size); err != nil {
+				return nil, err
+			}
+		}
+		f.Sections = append(f.Sections, sec)
+	}
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package elfx
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// opaqueReaderAt hides every method except ReadAt, forcing ParseAt onto
+// the piecewise fallback path.
+type opaqueReaderAt struct{ b []byte }
+
+func (o opaqueReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return bytes.NewReader(o.b).ReadAt(p, off)
+}
+
+// viewerReaderAt exposes its bytes through ByteView — the zero-copy
+// fast path (what a mapped spool body looks like).
+type viewerReaderAt struct{ opaqueReaderAt }
+
+func (v viewerReaderAt) ByteView() []byte { return v.b }
+
+// validImages builds the positive corpus: single- and multi-section
+// images, zero-size sections, NOBITS, segment-only fallback layouts.
+func validImages(t *testing.T) []namedImage {
+	t.Helper()
+	build := func(f func(b *Builder)) []byte {
+		var b Builder
+		f(&b)
+		img, err := b.Write()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	return []namedImage{
+		{"single-text", build(func(b *Builder) {
+			b.Entry = 0x401000
+			b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, bytes.Repeat([]byte{0x90}, 64))
+		})},
+		{"multi-section", build(func(b *Builder) {
+			b.Entry = 0x401000
+			b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, bytes.Repeat([]byte{0xc3}, 256))
+			b.AddSection(".rodata", 0x402000, SHFAlloc, []byte("constant pool"))
+			b.AddSection(".init", 0x403000, SHFAlloc|SHFExecinstr, []byte{0x90, 0xc3})
+		})},
+		{"zero-size-section", build(func(b *Builder) {
+			b.Entry = 0x401000
+			b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, nil)
+			b.AddSection(".more", 0x402000, SHFAlloc|SHFExecinstr, []byte{0xc3})
+		})},
+		{"with-nobits", build(func(b *Builder) {
+			b.Entry = 0x401000
+			b.AddSection(".text", 0x401000, SHFAlloc|SHFExecinstr, bytes.Repeat([]byte{0x90}, 32))
+			b.AddNobits(".bss", 0x500000, SHFAlloc|SHFWrite, 0x1000)
+		})},
+	}
+}
+
+// TestParseAtMatchesParse is the differential contract: over the valid
+// corpus and the malformed corpus, ParseAt on an opaque ReaderAt and
+// Parse on the same bytes either both fail or both produce DeepEqual
+// Files.
+func TestParseAtMatchesParse(t *testing.T) {
+	corpus := append(validImages(t), malformedImages(t)...)
+	for _, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantErr := Parse(tc.img)
+			got, gotErr := ParseAt(opaqueReaderAt{tc.img}, int64(len(tc.img)))
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("error disagreement: Parse=%v ParseAt=%v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ParseAt differs from Parse:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestParseAtTruncationSweep re-runs the differential over every
+// truncation of a valid image: agreement must hold at hostile sizes
+// too.
+func TestParseAtTruncationSweep(t *testing.T) {
+	img := validImages(t)[1].img
+	for n := 0; n <= len(img); n += 7 {
+		cut := img[:n]
+		want, wantErr := Parse(cut)
+		got, gotErr := ParseAt(opaqueReaderAt{cut}, int64(n))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("n=%d: Parse err=%v ParseAt err=%v", n, wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parse disagreement", n)
+		}
+	}
+}
+
+// TestParseAtZeroCopyViaByteViewer: when the source exposes a resident
+// view, section data must alias it — no copies.
+func TestParseAtZeroCopyViaByteViewer(t *testing.T) {
+	img := validImages(t)[0].img
+	f, err := ParseAt(viewerReaderAt{opaqueReaderAt{img}}, int64(len(img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.Section(".text")
+	if text == nil || len(text.Data) == 0 {
+		t.Fatal("no .text data")
+	}
+	if &text.Data[0] != &img[text.Off] {
+		t.Error("section Data does not alias the ByteView backing array (copied)")
+	}
+}
+
+// TestParseAtNilViewFallsBack: a ByteViewer whose view is not resident
+// (nil) must not be trusted — ParseAt falls back to ReadAt and still
+// parses correctly.
+func TestParseAtNilViewFallsBack(t *testing.T) {
+	img := validImages(t)[0].img
+	f, err := ParseAt(struct {
+		io.ReaderAt
+		ByteViewer
+	}{opaqueReaderAt{img}, nilViewer{}}, int64(len(img)))
+	if err != nil {
+		t.Fatalf("fallback parse failed: %v", err)
+	}
+	if f.Section(".text") == nil {
+		t.Error("fallback parse lost sections")
+	}
+}
+
+// nilViewer reports its bytes as non-resident, forcing fallback.
+type nilViewer struct{}
+
+func (nilViewer) ByteView() []byte { return nil }
+
+// TestParseAtNegativeSize rejects like an empty image.
+func TestParseAtNegativeSize(t *testing.T) {
+	if _, err := ParseAt(opaqueReaderAt{nil}, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

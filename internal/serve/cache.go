@@ -89,7 +89,7 @@ func (c *lru) put(key cacheKey, body []byte, sections int) (evicted int) {
 	return evicted
 }
 
-func (c *lru) len() int        { return c.ll.Len() }
+func (c *lru) len() int         { return c.ll.Len() }
 func (c *lru) sizeBytes() int64 { return c.bytes }
 
 // flight is one in-progress pipeline run that duplicate requests for
@@ -98,7 +98,7 @@ type flight struct {
 	done     chan struct{} // closed when the leader finishes
 	body     []byte        // marshaled 200 response; nil on failure
 	sections int
-	status   int    // error status when body == nil (400/429/500/504)
+	status   int // error status when body == nil (400/429/500/504)
 	errMsg   string
 	// retry marks a leader aborted by its own context (deadline or
 	// client disconnect): the result is nobody's fault and nobody's

@@ -9,7 +9,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +22,8 @@ import (
 
 	"probedis/internal/core"
 	"probedis/internal/obs"
+	"probedis/internal/spool"
+	"probedis/internal/store"
 	"probedis/internal/superset"
 	"probedis/internal/vclock"
 )
@@ -50,6 +51,24 @@ type Config struct {
 	// disables caching and singleflight).
 	CacheEntries int
 	CacheBytes   int64
+	// SpoolBytes is the largest request body kept entirely in memory
+	// during ingest; larger bodies are streamed to a temp file and
+	// memory-mapped for the parse, so resident heap per request is
+	// O(SpoolBytes), not O(image). 0 picks the default (512 KiB);
+	// negative disables spilling — the whole body is buffered on the
+	// heap, the pre-streaming behavior, kept for A/B memory tests.
+	SpoolBytes int64
+	// SpoolDir receives spilled request bodies ("" = os.TempDir()).
+	SpoolDir string
+	// StoreDir roots the persistent content-addressed result store
+	// shared between replicas ("" disables the disk tier).
+	StoreDir string
+	// StoreBytes bounds the store (0 = store.DefaultMaxBytes).
+	StoreBytes int64
+	// Fingerprint tags store entries with the pipeline generation; a
+	// mismatch invalidates them wholesale ("" = core.PipelineFingerprint).
+	// Tests override it to exercise invalidation.
+	Fingerprint string
 	// Clock injects a fake clock in tests (nil = wall clock).
 	Clock vclock.Clock
 	// Pipeline overrides the disassembly function (nil = the real
@@ -74,7 +93,8 @@ type Server struct {
 	clock    vclock.Clock
 	pipeline PipelineFunc
 	sem      chan struct{}
-	group    *group // nil when caching disabled
+	group    *group       // nil when caching disabled
+	store    *store.Store // nil when the disk tier is disabled
 
 	mu       sync.Mutex
 	nwait    int
@@ -84,8 +104,9 @@ type Server struct {
 // errPanic marks a pipeline panic caught by the per-request recover.
 var errPanic = errors.New("serve: pipeline panicked")
 
-// New builds a Server around d. See Config for the knobs.
-func New(d *core.Disassembler, cfg Config) *Server {
+// New builds a Server around d. See Config for the knobs. The only
+// failure mode is an unusable StoreDir.
+func New(d *core.Disassembler, cfg Config) (*Server, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = d.Workers()
 	}
@@ -96,6 +117,16 @@ func New(d *core.Disassembler, cfg Config) *Server {
 	}
 	if cfg.MaxBytes <= 0 {
 		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.SpoolBytes == 0 {
+		cfg.SpoolBytes = spool.DefaultThreshold
+	} else if cfg.SpoolBytes < 0 {
+		// Buffered mode: the spool threshold is the body cap, so nothing
+		// ever spills and the full image stays on the heap.
+		cfg.SpoolBytes = cfg.MaxBytes
+	}
+	if cfg.Fingerprint == "" {
+		cfg.Fingerprint = core.PipelineFingerprint
 	}
 	s := &Server{
 		d:        d,
@@ -112,6 +143,13 @@ func New(d *core.Disassembler, cfg Config) *Server {
 	}
 	if cfg.CacheEntries > 0 {
 		s.group = newGroup(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes, cfg.Fingerprint)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening result store: %w", err)
+		}
+		s.store = st
 	}
 
 	s.reg.SetHelp("probedis_requests_total", "requests served, by HTTP status code")
@@ -130,6 +168,9 @@ func New(d *core.Disassembler, cfg Config) *Server {
 	s.reg.SetHelp("probedis_cache_entries", "result-cache entries resident")
 	s.reg.SetHelp("probedis_cache_bytes", "result-cache body bytes resident")
 	s.reg.SetHelp("probedis_panics_total", "pipeline panics isolated to a 500 response")
+	s.reg.SetHelp("probedis_pipeline_runs_total", "full pipeline executions (traced runs and cache misses)")
+	s.reg.SetHelp("probedis_spool_files", "spilled request bodies currently on disk (process-wide)")
+	s.reg.SetHelp("probedis_spool_bytes", "bytes of spilled request bodies currently on disk (process-wide)")
 	s.reg.SetHelp("probedis_superset_scan_fallbacks_total",
 		"superset pre-decode offsets the length-only scan kernel handed to the full decoder")
 	s.reg.SetHelp("probedis_goroutines", "live goroutines")
@@ -152,22 +193,44 @@ func New(d *core.Disassembler, cfg Config) *Server {
 			return float64(s.group.cache.sizeBytes())
 		})
 	}
+	if s.store != nil {
+		s.reg.SetHelp("probedis_store_hits_total", "requests answered from the persistent result store")
+		s.reg.SetHelp("probedis_store_misses_total", "store lookups that found no usable entry")
+		s.reg.SetHelp("probedis_store_evictions_total", "store entries evicted by the byte-budget sweep")
+		s.reg.SetHelp("probedis_store_corruptions_total", "store entries quarantined after failing validation")
+		s.reg.SetHelp("probedis_store_errors_total", "store publishes that failed transiently (result still served)")
+		s.reg.SetHelp("probedis_store_entries", "persistent store entries resident")
+		s.reg.SetHelp("probedis_store_bytes", "persistent store bytes resident")
+		s.reg.CounterFunc("probedis_store_hits_total", s.store.HitCount)
+		s.reg.CounterFunc("probedis_store_misses_total", s.store.MissCount)
+		s.reg.CounterFunc("probedis_store_evictions_total", s.store.EvictionCount)
+		s.reg.CounterFunc("probedis_store_corruptions_total", s.store.CorruptionCount)
+		s.reg.Gauge("probedis_store_entries", func() float64 { return float64(s.store.EntryCount()) })
+		s.reg.Gauge("probedis_store_bytes", func() float64 { return float64(s.store.ByteCount()) })
+	}
 	// Process-wide, not per-server: the scan kernel's fallback count
 	// lives in the superset package's atomics, so sample it at scrape
-	// time instead of mirroring it into a second counter.
+	// time instead of mirroring it into a second counter. Likewise the
+	// spool gauges, which internal/spool maintains.
 	s.reg.CounterFunc("probedis_superset_scan_fallbacks_total", superset.ScanFallbacks)
+	s.reg.Gauge("probedis_spool_files", func() float64 { return float64(spool.LiveFiles()) })
+	s.reg.Gauge("probedis_spool_bytes", func() float64 { return float64(spool.LiveBytes()) })
 	s.reg.Gauge("probedis_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
 	s.reg.Gauge("probedis_heap_alloc_bytes", func() float64 {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		return float64(ms.HeapAlloc)
 	})
-	return s
+	return s, nil
 }
 
 // Registry exposes the metrics registry (the chaos harness scrapes it
 // directly in addition to the /metrics endpoint).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Store exposes the persistent result store, nil when the disk tier is
+// disabled (the replica-sharing tests inspect its counters directly).
+func (s *Server) Store() *store.Store { return s.store }
 
 // Routes builds the service mux: the disassembly endpoint, the metrics
 // scrape, and the stdlib pprof handlers.
@@ -218,24 +281,46 @@ type errorResponse struct {
 // for the span tree; traced requests bypass the result cache, since a
 // cached trace would describe some earlier request's run). Malformed
 // inputs are client errors: 400, never 500.
+//
+// Ingest is streaming: the body is spooled through an incremental
+// SHA-256 (so its cache key is known before any analysis), in memory up
+// to SpoolBytes and on disk past it. The size cap is enforced from the
+// spooled byte count — chunked uploads and lying Content-Length headers
+// hit the same 413 as honest oversized bodies.
 func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST an ELF64 image to /disassemble")
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBytes)
-	img, err := io.ReadAll(r.Body)
+	if r.ContentLength > s.cfg.MaxBytes {
+		// A declared length over the cap is refused before spooling a
+		// byte; the count-based check below covers everything else.
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBytes))
+		return
+	}
+	body, err := spool.Spool(spool.Config{
+		Threshold: s.cfg.SpoolBytes,
+		Dir:       s.cfg.SpoolDir,
+		MaxBytes:  s.cfg.MaxBytes,
+	}, r.Body)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if errors.Is(err, spool.ErrTooLarge) {
 			s.fail(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBytes))
+			return
+		}
+		// Spool-side failures (no temp space) are the server's problem,
+		// transport failures the client's.
+		if errors.Is(err, spool.ErrIO) {
+			s.fail(w, http.StatusInsufficientStorage, err.Error())
 			return
 		}
 		s.fail(w, http.StatusBadRequest, "reading request body: "+err.Error())
 		return
 	}
-	if len(img) == 0 {
+	if body.Size() == 0 {
+		body.Close()
 		s.fail(w, http.StatusBadRequest, "empty request body, expected an ELF64 image")
 		return
 	}
@@ -255,24 +340,44 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		if s.group != nil {
 			w.Header().Set("X-Probedis-Cache", "bypass")
 		}
-		s.serveUncached(ctx, w, img, wantTrace)
+		s.serveUncached(ctx, w, body, wantTrace)
 		return
 	}
-	s.serveCached(ctx, w, img)
+	s.serveCached(ctx, w, body)
+}
+
+// releaseBody returns a spooled body after a pipeline attempt. A panic
+// may have left stray goroutines still reading the mapped view, so that
+// path abandons the mapping (unlinking the file, leaking only pages)
+// instead of unmapping under the readers' feet.
+func releaseBody(b *spool.Body, err error) {
+	if errors.Is(err, errPanic) {
+		b.Abandon()
+		return
+	}
+	b.Close()
 }
 
 // serveUncached is the plain admit -> run -> respond path (traced
 // requests and cache-disabled configurations).
-func (s *Server) serveUncached(ctx context.Context, w http.ResponseWriter, img []byte, wantTrace bool) {
+func (s *Server) serveUncached(ctx context.Context, w http.ResponseWriter, b *spool.Body, wantTrace bool) {
 	release, status, msg := s.admit(ctx)
 	if status != 0 {
+		b.Close()
 		s.fail(w, status, msg)
 		return
 	}
 	defer release()
-	s.reg.Counter("probedis_request_bytes_total").Add(int64(len(img)))
+	s.reg.Counter("probedis_request_bytes_total").Add(b.Size())
 
+	img, err := b.View()
+	if err != nil {
+		b.Close()
+		s.fail(w, http.StatusInsufficientStorage, err.Error())
+		return
+	}
 	secs, tr, err := s.run(ctx, img)
+	releaseBody(b, err)
 	if err != nil {
 		s.failPipeline(w, ctx, err)
 		return
@@ -292,12 +397,14 @@ func (s *Server) serveUncached(ctx context.Context, w http.ResponseWriter, img [
 
 // serveCached is the singleflight + cache path: per unique image at
 // most one pipeline run is in progress, duplicates wait for it, and
-// completed results are served from the LRU.
-func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, img []byte) {
-	key := sha256.Sum256(img)
+// completed results are served from the LRU (backed, when configured,
+// by the persistent store — see lead).
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, b *spool.Body) {
+	key := b.Sum()
 	for {
 		body, _, f, hit, lead := s.group.lookup(key)
 		if hit {
+			b.Close()
 			s.reg.Counter("probedis_cache_hits_total").Add(1)
 			w.Header().Set("X-Probedis-Cache", "hit")
 			s.writeOK(w, body)
@@ -308,6 +415,7 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, img []b
 			select {
 			case <-f.done:
 			case <-ctx.Done():
+				b.Close()
 				s.failPipeline(w, ctx, ctx.Err())
 				return
 			}
@@ -318,6 +426,7 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, img []b
 				continue
 			}
 			if f.body != nil {
+				b.Close()
 				s.reg.Counter("probedis_cache_hits_total").Add(1)
 				w.Header().Set("X-Probedis-Cache", "hit")
 				s.writeOK(w, f.body)
@@ -327,30 +436,56 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, img []b
 			// failures (shed, panic) propagate to joiners — re-running
 			// the pipeline would reproduce the former and worsen the
 			// latter.
+			b.Close()
 			s.fail(w, f.status, f.errMsg)
 			return
 		}
-		s.lead(ctx, w, key, f, img)
+		s.lead(ctx, w, key, f, b)
 		return
 	}
 }
 
-// lead runs the pipeline as the flight leader for key.
-func (s *Server) lead(ctx context.Context, w http.ResponseWriter, key cacheKey, f *flight, img []byte) {
+// lead runs as the flight leader for key: first consulting the
+// persistent store (a disk hit feeds the memory cache and skips
+// admission entirely — serving a stored body needs no pipeline slot),
+// then running the pipeline and publishing the result to both tiers.
+func (s *Server) lead(ctx context.Context, w http.ResponseWriter, key cacheKey, f *flight, b *spool.Body) {
+	if s.store != nil {
+		if stored, ok := s.store.Get(key); ok {
+			b.Close()
+			if ev := s.group.publish(key, f, stored, 0); ev > 0 {
+				s.reg.Counter("probedis_cache_evictions_total").Add(int64(ev))
+			}
+			w.Header().Set("X-Probedis-Cache", "disk")
+			s.writeOK(w, stored)
+			return
+		}
+	}
 	s.reg.Counter("probedis_cache_misses_total").Add(1)
 	release, status, msg := s.admit(ctx)
 	if status != 0 {
 		// Admission failures retire the flight. Shedding propagates
 		// (the server is saturated for joiners too); cancellation makes
 		// joiners re-elect.
+		b.Close()
 		s.group.abort(key, f, status, msg, status == http.StatusGatewayTimeout)
 		s.fail(w, status, msg)
 		return
 	}
 	defer release()
-	s.reg.Counter("probedis_request_bytes_total").Add(int64(len(img)))
+	// Counted only after admission: shed and refused requests must not
+	// inflate the admitted-bytes series.
+	s.reg.Counter("probedis_request_bytes_total").Add(b.Size())
 
+	img, verr := b.View()
+	if verr != nil {
+		b.Close()
+		s.group.abort(key, f, http.StatusInsufficientStorage, verr.Error(), false)
+		s.fail(w, http.StatusInsufficientStorage, verr.Error())
+		return
+	}
 	secs, tr, err := s.run(ctx, img)
+	releaseBody(b, err)
 	if err != nil {
 		status, msg, retry := classify(ctx, err)
 		// A cancelled leader never publishes: the run was truncated, so
@@ -365,6 +500,21 @@ func (s *Server) lead(ctx context.Context, w http.ResponseWriter, key cacheKey, 
 		s.group.abort(key, f, http.StatusInternalServerError, "encoding response: "+err.Error(), false)
 		s.fail(w, http.StatusInternalServerError, "encoding response: "+err.Error())
 		return
+	}
+	if s.store != nil {
+		if perr := s.store.Put(key, body); perr != nil {
+			if errors.Is(perr, store.ErrFull) {
+				// The result exists but cannot be made durable; refusing
+				// keeps the two-tier invariant (everything served from the
+				// memory cache is also on disk for the other replicas).
+				s.group.abort(key, f, http.StatusInsufficientStorage, perr.Error(), false)
+				s.fail(w, http.StatusInsufficientStorage, perr.Error())
+				return
+			}
+			// Transient store I/O failure: the computed answer is still
+			// correct, serve it; the next miss retries the disk write.
+			s.reg.Counter("probedis_store_errors_total").Add(1)
+		}
 	}
 	if ev := s.group.publish(key, f, body, len(secs)); ev > 0 {
 		s.reg.Counter("probedis_cache_evictions_total").Add(int64(ev))
@@ -418,6 +568,7 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, msg str
 // becomes its own 500 without taking the process down.
 func (s *Server) run(ctx context.Context, img []byte) (secs []core.SectionDetail, tr *obs.Span, err error) {
 	tr = obs.NewTraceTimeOnly("disassemble")
+	s.reg.Counter("probedis_pipeline_runs_total").Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("probedis_panics_total").Add(1)

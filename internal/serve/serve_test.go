@@ -32,7 +32,11 @@ func testServer(t *testing.T) *Server {
 	t.Helper()
 	testSrvOnce.Do(func() {
 		d := core.New(core.DefaultModel(), core.WithWorkers(1))
-		testSrv = New(d, Config{Slots: 2, MaxBytes: 1 << 20})
+		var err error
+		testSrv, err = New(d, Config{Slots: 2, MaxBytes: 1 << 20})
+		if err != nil {
+			panic(err)
+		}
 	})
 	return testSrv
 }
@@ -40,7 +44,11 @@ func testServer(t *testing.T) *Server {
 // fastServer builds an isolated model-free server (statistical scoring
 // off, structure identical) — cheap enough to construct per test.
 func fastServer(cfg Config) *Server {
-	return New(core.New(nil, core.WithWorkers(1)), cfg)
+	s, err := New(core.New(nil, core.WithWorkers(1)), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func synthELF(t *testing.T, seed int64) []byte {

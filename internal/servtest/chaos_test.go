@@ -35,7 +35,16 @@ func synthELF(tb testing.TB, seed int64) []byte {
 
 func start(tb testing.TB, cfg serve.Config) *Harness {
 	tb.Helper()
-	h, err := Start(serve.New(core.New(nil, core.WithWorkers(1)), cfg))
+	return startWith(tb, core.New(nil, core.WithWorkers(1)), cfg)
+}
+
+func startWith(tb testing.TB, d *core.Disassembler, cfg serve.Config) *Harness {
+	tb.Helper()
+	s, err := serve.New(d, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h, err := Start(s)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -412,7 +421,7 @@ func TestGiantSectionShardCancelDoesNotLeak(t *testing.T) {
 	}
 	var depth atomic.Int64
 	depths := []int{1, 2, polls / 8, polls / 4, polls / 2, polls - polls/8}
-	h, err := Start(serve.New(inner, serve.Config{
+	h := startWith(t, inner, serve.Config{
 		Slots: 2, Queue: 8, MaxBytes: 1 << 20,
 		Pipeline: func(ctx context.Context, body []byte, tr *obs.Span) ([]core.SectionDetail, error) {
 			n := depth.Add(1)
@@ -421,11 +430,7 @@ func TestGiantSectionShardCancelDoesNotLeak(t *testing.T) {
 			}
 			return inner.DisassembleELFTraceContext(ctx, body, tr)
 		},
-	}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { h.Close() })
+	})
 	baseline := Goroutines()
 
 	var wg sync.WaitGroup
@@ -504,12 +509,8 @@ func TestShardProgressCountersInScrape(t *testing.T) {
 		t.Fatalf("section too small to shard: %d bytes", len(bin.Code))
 	}
 
-	h, err := Start(serve.New(core.New(nil, core.WithWorkers(2), core.WithShardBytes(4096)),
-		serve.Config{Slots: 2, MaxBytes: 1 << 20}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { h.Close() })
+	h := startWith(t, core.New(nil, core.WithWorkers(2), core.WithShardBytes(4096)),
+		serve.Config{Slots: 2, MaxBytes: 1 << 20})
 	res, err := h.Post(img, "")
 	if err != nil {
 		t.Fatal(err)

@@ -137,6 +137,116 @@ func (h *Harness) PostSlow(body []byte, chunk int, delay time.Duration) (*Result
 	return &Result{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
 }
 
+// PostChunked streams body with chunked transfer encoding — no
+// Content-Length anywhere — in chunk-sized pieces with delay between
+// them (0 = as fast as the socket drains). This is the upload shape the
+// streaming-ingest path exists for: the server cannot know the size
+// until the terminating chunk.
+func (h *Harness) PostChunked(body []byte, chunk int, delay time.Duration) (*Result, error) {
+	conn, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /disassemble HTTP/1.1\r\nHost: %s\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+		h.Addr)
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		if _, err := fmt.Fprintf(conn, "%x\r\n", end-off); err != nil {
+			return nil, err
+		}
+		if _, err := conn.Write(body[off:end]); err != nil {
+			return nil, err
+		}
+		if _, err := io.WriteString(conn, "\r\n"); err != nil {
+			return nil, err
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	if _, err := io.WriteString(conn, "0\r\n\r\n"); err != nil {
+		return nil, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
+// PostChunkedAbort starts a chunked upload and slams the connection
+// partway: after sendChunks complete chunks when midChunk is false, or
+// additionally inside a declared-but-unfinished chunk when true (the
+// server has been promised bytes that never arrive). The server must
+// drop the spooled prefix without leaking a goroutine or a temp file.
+func (h *Harness) PostChunkedAbort(body []byte, chunk, sendChunks int, midChunk bool) error {
+	conn, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(conn, "POST /disassemble HTTP/1.1\r\nHost: %s\r\nTransfer-Encoding: chunked\r\n\r\n",
+		h.Addr)
+	off := 0
+	for i := 0; i < sendChunks && off < len(body); i++ {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		fmt.Fprintf(conn, "%x\r\n", end-off)
+		conn.Write(body[off:end])
+		io.WriteString(conn, "\r\n")
+		off = end
+	}
+	if midChunk && off < len(body) {
+		// Declare a full chunk, deliver half of it, vanish.
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		fmt.Fprintf(conn, "%x\r\n", end-off)
+		conn.Write(body[off : off+(end-off)/2])
+	}
+	return conn.Close()
+}
+
+// PostLyingLength declares Content-Length: declared while actually
+// sending all of body, then closes the write side. A short declaration
+// makes the server treat a truncated prefix as the whole body; a long
+// one makes its read hit EOF early. Either way the spooled-count
+// enforcement, not the header, must decide the request's fate.
+func (h *Harness) PostLyingLength(body []byte, declared int) (*Result, error) {
+	conn, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /disassemble HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		h.Addr, declared)
+	conn.Write(body)
+	if c, ok := conn.(*net.TCPConn); ok {
+		c.CloseWrite()
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
 // PostAbort declares a body of len(body) bytes, sends only sendBytes of
 // it, then slams the connection — the mid-body disconnect case. The
 // server must recover the handler goroutine and never answer.

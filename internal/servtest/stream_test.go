@@ -1,0 +1,391 @@
+package servtest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"probedis/internal/core"
+	"probedis/internal/obs"
+	"probedis/internal/serve"
+)
+
+// padTo grows a valid image to exactly n bytes with trailing zeros —
+// still a valid ELF (parsers read by offset, trailing bytes are inert)
+// but a distinct cache key per size, sized to straddle the spool
+// threshold precisely.
+func padTo(tb testing.TB, img []byte, n int) []byte {
+	tb.Helper()
+	if len(img) > n {
+		tb.Fatalf("image already %d bytes, cannot pad down to %d", len(img), n)
+	}
+	out := make([]byte, n)
+	copy(out, img)
+	return out
+}
+
+// spoolDirEmpty asserts no spool temp files survived the workload.
+func spoolDirEmpty(t *testing.T, dir string) {
+	t.Helper()
+	leftover, err := filepath.Glob(filepath.Join(dir, "probedis-spool-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Errorf("%d spool files leaked: %v", len(leftover), leftover)
+	}
+}
+
+// assertSpoolDrained asserts the process-wide spool gauges scraped from
+// /metrics are back to zero.
+func assertSpoolDrained(t *testing.T, h *Harness) {
+	t.Helper()
+	// The gauges are process-wide atomics updated by the request
+	// goroutines; give stragglers a moment to close their bodies.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := h.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m["probedis_spool_files"] == 0 && m["probedis_spool_bytes"] == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("spool gauges did not drain: files=%v bytes=%v",
+				m["probedis_spool_files"], m["probedis_spool_bytes"])
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStreamingChunkedMatchesBuffered: a chunked upload (no
+// Content-Length anywhere) must produce byte-identical results to the
+// same image sent with an honest Content-Length, across bodies that sit
+// below, exactly at, and above the spool threshold.
+func TestStreamingChunkedMatchesBuffered(t *testing.T) {
+	const threshold = 8192
+	spoolDir := t.TempDir()
+	h := start(t, serve.Config{
+		Slots: 2, Queue: 16, MaxBytes: 1 << 20,
+		CacheEntries: 16, CacheBytes: 8 << 20,
+		SpoolBytes: threshold, SpoolDir: spoolDir,
+	})
+	base := synthELF(t, 300)
+	if len(base) >= threshold {
+		t.Fatalf("base image %d bytes, too big to straddle a %d threshold", len(base), threshold)
+	}
+	for _, n := range []int{len(base), threshold - 1, threshold, threshold + 1, 4 * threshold} {
+		img := padTo(t, base, n)
+		ref, err := h.Post(img, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != 200 {
+			t.Fatalf("n=%d: buffered post status %d: %s", n, ref.Status, ref.Body)
+		}
+		got, err := h.PostChunked(img, 777, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != 200 {
+			t.Fatalf("n=%d: chunked post status %d: %s", n, got.Status, got.Body)
+		}
+		if !bytes.Equal(got.Body, ref.Body) {
+			t.Errorf("n=%d: chunked response differs from buffered", n)
+		}
+		if state := got.Header.Get("X-Probedis-Cache"); state != "hit" {
+			// The honest post populated the cache; the chunked repeat must
+			// hash to the same key and hit it.
+			t.Errorf("n=%d: chunked upload missed the cache (state %q): content address diverged", n, state)
+		}
+	}
+	assertSpoolDrained(t, h)
+	spoolDirEmpty(t, spoolDir)
+}
+
+// TestStreamingChaos is the streaming sibling of the mixed-workload
+// chaos run: chunked and trickled uploads, mid-chunk aborts, lying
+// Content-Length headers, oversized chunked bodies and
+// threshold-straddling sizes, all against a tiny spool threshold so
+// most bodies spill. Every observed response carries a known status
+// with a well-formed JSON body; afterwards no goroutine, no spool file
+// and no gauge survives.
+func TestStreamingChaos(t *testing.T) {
+	const (
+		threshold = 8192
+		maxBytes  = 64 << 10
+	)
+	spoolDir := t.TempDir()
+	h := start(t, serve.Config{
+		Slots: 4, Queue: 32, MaxBytes: maxBytes, Deadline: 30 * time.Second,
+		CacheEntries: 16, CacheBytes: 8 << 20,
+		SpoolBytes: threshold, SpoolDir: spoolDir,
+	})
+
+	base := synthELF(t, 310)
+	sizes := []int{len(base), threshold - 1, threshold, threshold + 1, 3 * threshold, 6 * threshold}
+	valid := make([][]byte, len(sizes))
+	for i, n := range sizes {
+		valid[i] = padTo(t, base, n)
+	}
+	oversized := make([]byte, maxBytes+threshold)
+	copy(oversized, base)
+
+	baseline := Goroutines()
+	const total = 600
+	const workers = 12
+	var (
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		bad      []string
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := range jobs {
+				img := valid[rng.Intn(len(valid))]
+				var res *Result
+				var err error
+				switch {
+				case i%7 == 1:
+					// Trickled chunked upload.
+					res, err = h.PostChunked(img, 512, 200*time.Microsecond)
+				case i%11 == 2:
+					// Mid-chunk abort: a chunk is declared, half delivered.
+					h.PostChunkedAbort(img, 512, rng.Intn(4), true)
+					continue
+				case i%13 == 3:
+					// Between-chunk abort.
+					h.PostChunkedAbort(img, 512, 1+rng.Intn(4), false)
+					continue
+				case i%17 == 4:
+					// Content-Length lies short: a truncated prefix becomes
+					// the body (400 malformed in almost every cut).
+					res, err = h.PostLyingLength(img, rng.Intn(len(img))+1)
+				case i%19 == 5:
+					// Content-Length lies long: the read hits EOF early.
+					res, err = h.PostLyingLength(img, len(img)+1+rng.Intn(4096))
+				case i%23 == 6:
+					// Oversized chunked body: no header warns the server; the
+					// spooled count must trip the 413.
+					res, err = h.PostChunked(oversized, 4096, 0)
+				default:
+					res, err = h.PostChunked(img, 1+rng.Intn(2048), 0)
+				}
+				if err != nil {
+					// Transport-level failure (server cut the connection);
+					// nothing received, nothing to assert.
+					continue
+				}
+				mu.Lock()
+				statuses[res.Status]++
+				if !allowedStatus[res.Status] {
+					bad = append(bad, fmt.Sprintf("req %d: status %d", i, res.Status))
+				} else if res.Status == 200 && !WellFormedOK(res.Body) {
+					bad = append(bad, fmt.Sprintf("req %d: malformed 200 body %.80q", i, res.Body))
+				} else if res.Status != 200 && !WellFormedError(res.Body) {
+					bad = append(bad, fmt.Sprintf("req %d: malformed %d body %.80q", i, res.Status, res.Body))
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, b := range bad {
+		t.Error(b)
+	}
+	if statuses[200] == 0 || statuses[413] == 0 {
+		t.Errorf("workload did not exercise the streaming statuses: %v", statuses)
+	}
+	t.Logf("status distribution: %v", statuses)
+
+	if err := WaitGoroutines(baseline, 10, 15*time.Second); err != nil {
+		t.Errorf("after streaming chaos: %v", err)
+	}
+	m, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m["probedis_inflight_requests"]; g != 0 {
+		t.Errorf("inflight gauge = %v after drain", g)
+	}
+	if g := m["probedis_queue_waiting"]; g != 0 {
+		t.Errorf("queue gauge = %v after drain", g)
+	}
+	assertSpoolDrained(t, h)
+	spoolDirEmpty(t, spoolDir)
+}
+
+// heapNow returns post-GC live heap bytes.
+func heapNow() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// TestStreamingKeepsHeapBounded is the memory acceptance check: a
+// 64 MiB upload through the streaming path must not materialize on the
+// Go heap (the image lives in the spool file and is mmap-ed), while the
+// buffered path (SpoolBytes < 0) demonstrably holds the whole image.
+// The pipeline stub measures live heap at the moment it holds the
+// image, the point of maximum residency.
+func TestStreamingKeepsHeapBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 MiB upload in -short mode")
+	}
+	const imageBytes = 64 << 20
+
+	// One shared upload buffer: allocated before the baseline so the
+	// client side of the loopback contributes to both measurements
+	// equally.
+	body := make([]byte, imageBytes)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(body)
+
+	measure := func(spoolBytes int64) int64 {
+		var during int64
+		pipeline := func(ctx context.Context, img []byte, tr *obs.Span) ([]core.SectionDetail, error) {
+			if int64(len(img)) != imageBytes {
+				t.Errorf("pipeline saw %d bytes, want %d", len(img), imageBytes)
+			}
+			// Touch every page: the mmap-ed image must be readable, and
+			// faulting it in must still not count as heap.
+			var sum byte
+			for off := 0; off < len(img); off += 4096 {
+				sum += img[off]
+			}
+			_ = sum
+			during = heapNow()
+			return nil, nil
+		}
+		h := start(t, serve.Config{
+			Slots: 1, MaxBytes: imageBytes, SpoolBytes: spoolBytes,
+			SpoolDir: t.TempDir(), Pipeline: pipeline,
+		})
+		defer h.Close()
+		baseline := heapNow()
+		res, err := h.PostChunked(body, 256<<10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != 200 {
+			t.Fatalf("status %d: %s", res.Status, res.Body)
+		}
+		// Precise liveness would otherwise let the GC collect the client's
+		// upload buffer mid-request, deflating the baseline side of the
+		// comparison.
+		runtime.KeepAlive(body)
+		return during - baseline
+	}
+
+	streaming := measure(0) // default threshold: 512 KiB, image spills
+	buffered := measure(-1) // whole image buffered on the heap
+
+	t.Logf("heap delta holding a %d MiB image: streaming %+.1f MiB, buffered %+.1f MiB",
+		imageBytes>>20, float64(streaming)/(1<<20), float64(buffered)/(1<<20))
+	if streaming >= imageBytes/2 {
+		t.Errorf("streaming path held %.1f MiB of heap for a %d MiB image (budget 0.5x)",
+			float64(streaming)/(1<<20), imageBytes>>20)
+	}
+	if buffered < imageBytes {
+		t.Errorf("buffered control held only %.1f MiB (< 1x image) — the comparison is not measuring residency",
+			float64(buffered)/(1<<20))
+	}
+}
+
+// TestSpoolGaugesVisibleMidRequest: while a spilled request is being
+// analysed, the spool gauges must report the resident file, and after
+// completion they must return to zero — the observability contract the
+// chaos drain checks rely on.
+func TestSpoolGaugesVisibleMidRequest(t *testing.T) {
+	const threshold = 2048
+	spoolDir := t.TempDir()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := start(t, serve.Config{
+		Slots: 1, MaxBytes: 1 << 20, SpoolBytes: threshold, SpoolDir: spoolDir,
+		Pipeline: func(ctx context.Context, img []byte, tr *obs.Span) ([]core.SectionDetail, error) {
+			close(entered)
+			<-release
+			return nil, nil
+		},
+	})
+	img := padTo(t, synthELF(t, 320), 8*threshold)
+	done := make(chan error, 1)
+	go func() {
+		res, err := h.Post(img, "")
+		if err == nil && res.Status != 200 {
+			err = fmt.Errorf("status %d: %s", res.Status, res.Body)
+		}
+		done <- err
+	}()
+	<-entered
+	m, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["probedis_spool_files"] < 1 || m["probedis_spool_bytes"] < float64(len(img)) {
+		t.Errorf("mid-request spool gauges: files=%v bytes=%v (want >=1 file, >=%d bytes)",
+			m["probedis_spool_files"], m["probedis_spool_bytes"], len(img))
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	assertSpoolDrained(t, h)
+	spoolDirEmpty(t, spoolDir)
+}
+
+// TestSpillDoesNotChangeResults: the same image analysed through the
+// in-memory path and the spilled/mmap path must produce identical
+// responses — the spool is transport, not semantics.
+func TestSpillDoesNotChangeResults(t *testing.T) {
+	img := synthELF(t, 330)
+	big := start(t, serve.Config{Slots: 1, MaxBytes: 1 << 20, SpoolBytes: 1 << 20})
+	tiny := start(t, serve.Config{Slots: 1, MaxBytes: 1 << 20, SpoolBytes: 64, SpoolDir: t.TempDir()})
+	a, err := big.Post(img, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tiny.Post(img, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != 200 || b.Status != 200 {
+		t.Fatalf("statuses %d/%d", a.Status, b.Status)
+	}
+	if !bytes.Equal(a.Body, b.Body) {
+		t.Error("spilled-path response differs from in-memory path")
+	}
+}
+
+// leftoverTempFiles guards the shared os.TempDir() default: none of the
+// streaming tests should have dropped spool files there either.
+func TestNoSpoolFilesInDefaultTempDir(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(os.TempDir(), "probedis-spool-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("spool files leaked into the default temp dir: %v", files)
+	}
+}

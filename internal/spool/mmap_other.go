@@ -1,0 +1,24 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package spool
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap reads the file into one
+// heap buffer — the portable read-at fallback. View stays correct;
+// only the streaming-memory bound is weakened.
+func mapFile(f *os.File, n int64) (view []byte, mapped bool, err error) {
+	if n == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmapView(v []byte) error { return nil }

@@ -1,0 +1,42 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package spool
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile returns a read-only view of the first n bytes of f. On unix
+// platforms this is a private mmap — the file's pages back the view, so
+// nothing lands on the Go heap and the kernel may reclaim clean pages
+// under memory pressure. mapped=true means the caller must unmapView.
+func mapFile(f *os.File, n int64) (view []byte, mapped bool, err error) {
+	if n == 0 {
+		return nil, false, nil
+	}
+	v, err := syscall.Mmap(int(f.Fd()), 0, int(n), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// mmap can fail on exotic filesystems; fall back to a plain read.
+		return readFallback(f, n)
+	}
+	return v, true, nil
+}
+
+func unmapView(v []byte) error {
+	if len(v) == 0 {
+		return nil
+	}
+	return syscall.Munmap(v)
+}
+
+// readFallback materializes the file in one heap buffer — correctness
+// fallback only; the streaming-memory bound does not hold on it.
+func readFallback(f *os.File, n int64) ([]byte, bool, error) {
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return buf, false, nil
+}

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyDir copies quarantined artifacts to the directory named by
+// PROBEDIS_QUARANTINE_REPORT so the CI job can upload them when a
+// fault-injection test fails.
+func reportQuarantine(t *testing.T, s *Store) {
+	t.Helper()
+	if !t.Failed() {
+		return
+	}
+	dst := os.Getenv("PROBEDIS_QUARANTINE_REPORT")
+	if dst == "" {
+		return
+	}
+	os.MkdirAll(dst, 0o755)
+	ents, err := os.ReadDir(s.QuarantineDir())
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		in, err := os.Open(filepath.Join(s.QuarantineDir(), e.Name()))
+		if err != nil {
+			continue
+		}
+		out, err := os.Create(filepath.Join(dst, t.Name()+"-"+e.Name()))
+		if err == nil {
+			io.Copy(out, in)
+			out.Close()
+		}
+		in.Close()
+	}
+}
+
+// TestCorruptEntriesNeverServed is the crash/corruption corpus: every
+// way an entry can rot on disk — torn writes, truncation, bit flips at
+// rest, a partial rename leaving a short file, header damage — must be
+// detected by the checksum, quarantined for inspection, reported as a
+// miss, and replaced cleanly by a recompute. A corrupt entry must never
+// reach a client.
+func TestCorruptEntriesNeverServed(t *testing.T) {
+	body := []byte(`{"sections":[{"name":".text","bytes":4096}]}`)
+	k := key(body)
+
+	cases := []struct {
+		name string
+		// mangle rewrites the published entry file in place.
+		mangle func(t *testing.T, path string, raw []byte)
+		// stale entries are deleted, not quarantined.
+		wantQuarantine bool
+	}{
+		{"torn-write-half", func(t *testing.T, path string, raw []byte) {
+			writeFile(t, path, raw[:len(raw)/2])
+		}, true},
+		{"truncated-one-byte", func(t *testing.T, path string, raw []byte) {
+			writeFile(t, path, raw[:len(raw)-1])
+		}, true},
+		{"truncated-to-header", func(t *testing.T, path string, raw []byte) {
+			writeFile(t, path, raw[:headerLen])
+		}, true},
+		{"empty-file-partial-rename", func(t *testing.T, path string, raw []byte) {
+			writeFile(t, path, nil)
+		}, true},
+		{"bit-flip-in-body", func(t *testing.T, path string, raw []byte) {
+			raw = bytes.Clone(raw)
+			raw[headerLen+len(testFP)+8+4] ^= 0x01
+			writeFile(t, path, raw)
+		}, true},
+		{"bit-flip-in-checksum", func(t *testing.T, path string, raw []byte) {
+			raw = bytes.Clone(raw)
+			raw[len(raw)-1] ^= 0x80
+			writeFile(t, path, raw)
+		}, true},
+		{"bad-magic", func(t *testing.T, path string, raw []byte) {
+			raw = bytes.Clone(raw)
+			copy(raw, "NOTSTORE")
+			writeFile(t, path, raw)
+		}, true},
+		{"garbage-file", func(t *testing.T, path string, raw []byte) {
+			writeFile(t, path, []byte("not an entry at all"))
+		}, true},
+		{"length-field-lies", func(t *testing.T, path string, raw []byte) {
+			raw = bytes.Clone(raw)
+			binary.LittleEndian.PutUint64(raw[headerLen+len(testFP):], 1)
+			writeFile(t, path, raw)
+		}, true},
+		// Wrong version with a recomputed (valid) checksum: structurally
+		// intact, just from another store generation — stale, swept, not
+		// quarantined.
+		{"wrong-version-recomputed-checksum", func(t *testing.T, path string, raw []byte) {
+			payload := bytes.Clone(raw[:len(raw)-32])
+			binary.LittleEndian.PutUint32(payload[8:], entryVersion+1)
+			writeFile(t, path, encodeRaw(payload))
+		}, false},
+		// Wrong version with the old checksum: the checksum catches the
+		// mismatch first — corruption, quarantined.
+		{"wrong-version-stale-checksum", func(t *testing.T, path string, raw []byte) {
+			raw = bytes.Clone(raw)
+			binary.LittleEndian.PutUint32(raw[8:], entryVersion+1)
+			writeFile(t, path, raw)
+		}, true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, t.TempDir(), 1<<20, testFP)
+			defer reportQuarantine(t, s)
+			if err := s.Put(k, body); err != nil {
+				t.Fatal(err)
+			}
+			path := s.entryPath(k)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, path, raw)
+
+			got, ok := s.Get(k)
+			if ok {
+				t.Fatalf("corrupt entry served: %.64q", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("bad entry left at its path")
+			}
+			q, _ := os.ReadDir(s.QuarantineDir())
+			if tc.wantQuarantine {
+				if len(q) != 1 {
+					t.Errorf("quarantine holds %d files, want 1", len(q))
+				}
+				if s.CorruptionCount() != 1 {
+					t.Errorf("corruption count = %d, want 1", s.CorruptionCount())
+				}
+			} else {
+				if len(q) != 0 {
+					t.Errorf("stale entry quarantined (%d files), want deleted", len(q))
+				}
+				if s.CorruptionCount() != 0 {
+					t.Errorf("stale entry counted as corruption")
+				}
+			}
+
+			// Recompute path: a fresh Put must fully restore service.
+			if err := s.Put(k, body); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); !ok || !bytes.Equal(got, body) {
+				t.Fatalf("recompute after corruption: ok=%v", ok)
+			}
+		})
+	}
+}
+
+// TestOpenQuarantinesCorruptEntries: the Open-time walk must also
+// divert corrupt entries (e.g. the process died mid-crash last time)
+// so accounting never includes them.
+func TestOpenQuarantinesCorruptEntries(t *testing.T) {
+	root := t.TempDir()
+	s := open(t, root, 1<<20, testFP)
+	good := []byte("good-entry")
+	bad := []byte("doomed-entry")
+	if err := s.Put(key(good), good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(bad), bad); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.entryPath(key(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, s.entryPath(key(bad)), raw[:len(raw)-3])
+
+	s2 := open(t, root, 1<<20, testFP)
+	defer reportQuarantine(t, s2)
+	if s2.EntryCount() != 1 {
+		t.Errorf("entry count after corrupt sweep = %d, want 1", s2.EntryCount())
+	}
+	if s2.CorruptionCount() != 1 {
+		t.Errorf("corruption count = %d, want 1", s2.CorruptionCount())
+	}
+	if _, ok := s2.Get(key(bad)); ok {
+		t.Error("corrupt entry served after reopen")
+	}
+	if got, ok := s2.Get(key(good)); !ok || !bytes.Equal(got, good) {
+		t.Error("good entry lost in the corrupt sweep")
+	}
+	if q, _ := os.ReadDir(s2.QuarantineDir()); len(q) != 1 {
+		t.Errorf("quarantine holds %d files, want 1", len(q))
+	}
+}
+
+// errAbandonedRename simulates kill -9 between staging and publishing:
+// the staged file exists, the rename never happens.
+var errPublisherDied = errors.New("publisher died before rename")
+
+// TestPublisherDiesMidWrite: with the rename hook failing (the
+// publisher never made its entry visible), the key stays a miss, the
+// staged bytes are invisible to readers, and a later Open sweeps the
+// orphan. This is the kill-9 simulation the atomic-rename contract is
+// for.
+func TestPublisherDiesMidWrite(t *testing.T) {
+	root := t.TempDir()
+	s := open(t, root, 1<<20, testFP)
+	body := []byte("never-published")
+	k := key(body)
+
+	var staged string
+	s.SetRenameHook(func(oldpath, newpath string) error {
+		staged = oldpath
+		// Simulate death: leave the staged file exactly as written.
+		// (Put's error path would normally remove it; a real kill -9
+		// leaves it, so put it back after Put returns.)
+		return errPublisherDied
+	})
+	err := s.Put(k, body)
+	if !errors.Is(err, errPublisherDied) {
+		t.Fatalf("Put err = %v", err)
+	}
+	// Re-create the orphan as the dead publisher would have left it.
+	writeFile(t, staged, encodeEntry(body, testFP))
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("unpublished entry visible to Get")
+	}
+	if s.EntryCount() != 0 {
+		t.Errorf("entry count = %d after failed publish", s.EntryCount())
+	}
+
+	// Crash recovery: reopen sweeps the orphan, and a healthy publisher
+	// (fresh handle, default rename) completes the write.
+	s2 := open(t, root, 1<<20, testFP)
+	if _, err := os.Stat(staged); !os.IsNotExist(err) {
+		t.Error("staged orphan survived Open")
+	}
+	if err := s2.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(k); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("publish after recovery: ok=%v", ok)
+	}
+}
+
+// TestRenameHookReset: SetRenameHook(nil) restores the real rename.
+func TestRenameHookReset(t *testing.T) {
+	s := open(t, t.TempDir(), 1<<20, testFP)
+	s.SetRenameHook(func(string, string) error { return errPublisherDied })
+	s.SetRenameHook(nil)
+	body := []byte("published-after-reset")
+	if err := s.Put(key(body), body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(body)); !ok {
+		t.Fatal("entry missing after hook reset")
+	}
+}
+
+// encodeRaw appends a fresh checksum to payload (test helper for
+// building structurally-valid entries with modified headers).
+func encodeRaw(payload []byte) []byte {
+	sum := sha256sum(payload)
+	return append(bytes.Clone(payload), sum...)
+}
+
+func sha256sum(b []byte) []byte {
+	h := key(b)
+	return h[:]
+}
+
+func writeFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

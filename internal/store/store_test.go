@@ -1,0 +1,343 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testFP = "pipeline-test-v1"
+
+func open(t *testing.T, root string, maxBytes int64, fp string) *Store {
+	t.Helper()
+	s, err := Open(root, maxBytes, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func key(b []byte) [32]byte { return sha256.Sum256(b) }
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := open(t, t.TempDir(), 1<<20, testFP)
+	body := []byte(`{"sections":[{"name":".text"}]}`)
+	k := key(body)
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get before Put hit")
+	}
+	if s.MissCount() != 1 {
+		t.Errorf("miss count = %d", s.MissCount())
+	}
+	if err := s.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get after Put: ok=%v body=%q", ok, got)
+	}
+	if s.HitCount() != 1 {
+		t.Errorf("hit count = %d", s.HitCount())
+	}
+	if s.EntryCount() != 1 {
+		t.Errorf("entry count = %d", s.EntryCount())
+	}
+	if s.ByteCount() <= int64(len(body)) {
+		t.Errorf("byte count = %d, want > body length (header overhead)", s.ByteCount())
+	}
+	// Nothing staged left behind.
+	if ents, _ := os.ReadDir(s.tmpDir()); len(ents) != 0 {
+		t.Errorf("tmp dir not empty after Put: %d files", len(ents))
+	}
+}
+
+// TestSharedRootAcrossStores is the replica-sharing contract at the
+// store layer: a second Store over the same root serves the first
+// one's entries byte-identically, including a cold Open after the
+// writer is gone.
+func TestSharedRootAcrossStores(t *testing.T) {
+	root := t.TempDir()
+	a := open(t, root, 1<<20, testFP)
+	body := []byte("replica-shared-result")
+	k := key(body)
+	if err := a.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live second replica.
+	b := open(t, root, 1<<20, testFP)
+	got, ok := b.Get(k)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("replica B: ok=%v body=%q", ok, got)
+	}
+	if b.HitCount() != 1 || b.MissCount() != 0 {
+		t.Errorf("replica B counters: hits=%d misses=%d", b.HitCount(), b.MissCount())
+	}
+	// Cold restart sees it too, and accounting is derived from disk.
+	c := open(t, root, 1<<20, testFP)
+	if c.EntryCount() != 1 {
+		t.Errorf("cold open entry count = %d", c.EntryCount())
+	}
+	if got, ok := c.Get(k); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("cold open: ok=%v body=%q", ok, got)
+	}
+}
+
+// TestFingerprintInvalidation: entries written under an old pipeline
+// fingerprint are ignored and swept — lazily by Get and wholesale at
+// Open.
+func TestFingerprintInvalidation(t *testing.T) {
+	root := t.TempDir()
+	old := open(t, root, 1<<20, "fp-v1")
+	b1, b2 := []byte("result-one"), []byte("result-two")
+	if err := old.Put(key(b1), b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Put(key(b2), b2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lazy sweep: a replica on the new fingerprint misses and deletes.
+	nw, err := Open(root, 1<<20, "fp-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.EntryCount() != 0 {
+		t.Errorf("Open with new fingerprint kept %d stale entries", nw.EntryCount())
+	}
+	if _, ok := nw.Get(key(b1)); ok {
+		t.Fatal("stale-fingerprint entry served")
+	}
+	if nw.CorruptionCount() != 0 {
+		t.Errorf("stale entries counted as corruption: %d", nw.CorruptionCount())
+	}
+	// Stale entries are deleted, not quarantined.
+	if ents, _ := os.ReadDir(nw.QuarantineDir()); len(ents) != 0 {
+		t.Errorf("stale entries quarantined: %d", len(ents))
+	}
+	// And the store still works on the new fingerprint.
+	if err := nw.Put(key(b1), b1); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := nw.Get(key(b1)); !ok || !bytes.Equal(got, b1) {
+		t.Fatalf("recompute after invalidation: ok=%v body=%q", ok, got)
+	}
+}
+
+// TestLazyStaleSweepOnGet covers the other sweep path: the stale entry
+// appears after this store opened (written by a replica still on the
+// old fingerprint).
+func TestLazyStaleSweepOnGet(t *testing.T) {
+	root := t.TempDir()
+	nw := open(t, root, 1<<20, "fp-v2")
+	old := open(t, root, 1<<20, "fp-v1")
+	body := []byte("written-by-old-replica")
+	k := key(body)
+	if err := old.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nw.Get(k); ok {
+		t.Fatal("stale entry served")
+	}
+	if _, err := os.Stat(nw.entryPath(k)); !os.IsNotExist(err) {
+		t.Error("stale entry not swept by Get")
+	}
+}
+
+// TestByteBudgetLRUSweep fills the store past its budget and checks the
+// least-recently-accessed entries go first — with recency set by Get,
+// not Put order.
+func TestByteBudgetLRUSweep(t *testing.T) {
+	bodies := make([][]byte, 4)
+	var keys [][32]byte
+	for i := range bodies {
+		bodies[i] = bytes.Repeat([]byte{byte('a' + i)}, 1000)
+		keys = append(keys, key(bodies[i]))
+	}
+	entrySize := int64(len(encodeEntry(bodies[0], testFP)))
+	s := open(t, t.TempDir(), 3*entrySize, testFP)
+
+	for i := 0; i < 3; i++ {
+		if err := s.Put(keys[i], bodies[i]); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes even on coarse filesystem timestamps.
+		now := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(s.entryPath(keys[i]), now, now)
+	}
+	// Touch entry 0 so entry 1 is now the oldest.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm entry missing")
+	}
+	if err := s.Put(keys[3], bodies[3]); err != nil {
+		t.Fatal(err)
+	}
+	if s.EvictionCount() == 0 {
+		t.Fatal("no eviction recorded")
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Error("LRU entry survived the sweep")
+	}
+	for _, i := range []int{0, 3} {
+		if got, ok := s.Get(keys[i]); !ok || !bytes.Equal(got, bodies[i]) {
+			t.Errorf("entry %d should have survived (ok=%v)", i, ok)
+		}
+	}
+	if s.ByteCount() > 3*entrySize {
+		t.Errorf("byte count %d over budget %d after sweep", s.ByteCount(), 3*entrySize)
+	}
+}
+
+// TestPutErrFull: a body that cannot fit the budget at all is refused
+// with ErrFull and evicts nothing.
+func TestPutErrFull(t *testing.T) {
+	s := open(t, t.TempDir(), 256, testFP)
+	small := []byte("fits")
+	if err := s.Put(key(small), small); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xcc}, 1024)
+	if err := s.Put(key(big), big); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if got, ok := s.Get(key(small)); !ok || !bytes.Equal(got, small) {
+		t.Error("resident entry lost to a refused oversized Put")
+	}
+}
+
+// TestSameKeyReplace: re-publishing a key replaces the entry without
+// double-counting its bytes.
+func TestSameKeyReplace(t *testing.T) {
+	s := open(t, t.TempDir(), 1<<20, testFP)
+	k := key([]byte("the-key"))
+	if err := s.Put(k, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	first := s.ByteCount()
+	if err := s.Put(k, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || string(got) != "second" {
+		t.Fatalf("replace: ok=%v body=%q (last writer must win)", ok, got)
+	}
+	if s.EntryCount() != 1 {
+		t.Errorf("entry count = %d after same-key replace", s.EntryCount())
+	}
+	if diff := s.ByteCount() - first; diff < 0 || diff > 16 {
+		t.Errorf("byte accounting drifted by %d on replace", diff)
+	}
+}
+
+// TestConcurrentSameKeyPublishConverges: racing publishers (two
+// replica handles, many goroutines, two distinct bodies) must leave
+// exactly one complete, checksum-valid entry that equals one of the
+// published bodies — rename atomicity means no interleaving, ever.
+func TestConcurrentSameKeyPublishConverges(t *testing.T) {
+	root := t.TempDir()
+	a := open(t, root, 1<<20, testFP)
+	b := open(t, root, 1<<20, testFP)
+	k := key([]byte("contended-key"))
+	bodyA := bytes.Repeat([]byte("A"), 4096)
+	bodyB := bytes.Repeat([]byte("B"), 4096)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				a.Put(k, bodyA)
+			} else {
+				b.Put(k, bodyB)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every handle and a cold open agree on one intact winner.
+	for name, s := range map[string]*Store{"a": a, "b": b, "cold": open(t, root, 1<<20, testFP)} {
+		got, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("%s: no entry after concurrent publish", name)
+		}
+		if !bytes.Equal(got, bodyA) && !bytes.Equal(got, bodyB) {
+			t.Fatalf("%s: interleaved entry: %.32q...", name, got)
+		}
+		if s.CorruptionCount() != 0 {
+			t.Errorf("%s: corruption after concurrent publish", name)
+		}
+	}
+	// Deterministic in the sequential case: last writer wins.
+	if err := a.Put(k, bodyA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(k, bodyB); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := a.Get(k); !ok || !bytes.Equal(got, bodyB) {
+		t.Error("sequential same-key publish: last writer did not win")
+	}
+}
+
+// TestOpenCleansTmpOrphans: staged files left by a crashed publisher
+// are swept at Open.
+func TestOpenCleansTmpOrphans(t *testing.T) {
+	root := t.TempDir()
+	s := open(t, root, 1<<20, testFP)
+	orphan := filepath.Join(s.tmpDir(), "put-orphan")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, root, 1<<20, testFP)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("tmp orphan survived Open")
+	}
+	if s2.EntryCount() != 0 {
+		t.Errorf("orphan counted as entry: %d", s2.EntryCount())
+	}
+}
+
+func TestEncodeDecodeEntry(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xaa}, 100000)} {
+		enc := encodeEntry(body, testFP)
+		got, v := decodeEntry(enc, testFP)
+		if v != entryOK || !bytes.Equal(got, body) {
+			t.Fatalf("roundtrip len=%d: verdict=%v", len(body), v)
+		}
+		if _, v := decodeEntry(enc, "other-fp"); v != entryStale {
+			t.Errorf("len=%d: wrong fingerprint verdict = %v, want stale", len(body), v)
+		}
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	s := open(t, t.TempDir(), 0, testFP)
+	if s.maxBytes != DefaultMaxBytes {
+		t.Errorf("default budget = %d", s.maxBytes)
+	}
+}
+
+func TestManyKeysFanOut(t *testing.T) {
+	s := open(t, t.TempDir(), 1<<20, testFP)
+	for i := 0; i < 64; i++ {
+		body := []byte(fmt.Sprintf("result-%d", i))
+		if err := s.Put(key(body), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		body := []byte(fmt.Sprintf("result-%d", i))
+		if got, ok := s.Get(key(body)); !ok || !bytes.Equal(got, body) {
+			t.Fatalf("key %d: ok=%v", i, ok)
+		}
+	}
+	if s.EntryCount() != 64 {
+		t.Errorf("entry count = %d", s.EntryCount())
+	}
+}
